@@ -1,0 +1,205 @@
+// E1 — Theorem 1.1 / 6.7: batch-dynamic connectivity on streaming MPC.
+//
+// Claim: a batch of ~O(n^phi) updates is processed in O(1/phi) rounds on a
+// cluster with local memory ~n^phi and total memory ~O(n) — in particular,
+// rounds per phase do NOT grow with n, and total memory does NOT grow with
+// the number of edges m (unlike the Theta(n + m) of ILMP19/DDK+20/NO21).
+//
+// Three tables: (1) sweep n at fixed phi — flat rounds, ~n memory vs the
+// n+m baseline; (2) sweep phi at fixed n — rounds grow ~1/phi;
+// (3) sweep batch size at fixed n — flat rounds until the batch no longer
+// fits one machine.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/dynamic_connectivity.h"
+#include "graph/adjacency.h"
+#include "graph/generators.h"
+#include "graph/reference.h"
+
+namespace streammpc {
+namespace {
+
+struct RunResult {
+  bench::PhaseRounds insert_rounds;
+  bench::PhaseRounds delete_rounds;
+  std::uint64_t memory_words = 0;
+  std::uint64_t baseline_words = 0;  // Theta(n + m) structure
+  std::uint64_t machines = 0;
+  std::uint64_t peak_object = 0;
+  std::uint64_t local_capacity = 0;
+  bool components_correct = false;
+  double seconds = 0;
+};
+
+RunResult run_stream(VertexId n, double phi, std::size_t batch_size,
+                     std::size_t churn_batches, unsigned banks,
+                     std::uint64_t seed) {
+  bench::Timer timer;
+  mpc::MpcConfig mc;
+  mc.n = n;
+  mc.phi = phi;
+  mpc::Cluster cluster(mc);
+  ConnectivityConfig cc;
+  cc.sketch.banks = banks;
+  cc.sketch.shape = L0Shape{1, 8};
+  cc.sketch.seed = seed;
+  DynamicConnectivity dc(n, cc, &cluster);
+  AdjGraph ref(n);
+
+  Rng rng(seed ^ 0xbeef);
+  gen::ChurnOptions opt;
+  opt.n = n;
+  opt.initial_edges = 3 * static_cast<std::size_t>(n);
+  opt.num_batches = churn_batches;
+  opt.batch_size = batch_size;
+  opt.delete_fraction = 0.45;
+
+  RunResult r;
+  std::size_t batch_index = 0;
+  const auto batches = gen::churn_stream(opt, rng);
+  const std::size_t warmup =
+      (opt.initial_edges + batch_size - 1) / batch_size;
+  for (const auto& batch : batches) {
+    dc.apply_batch(batch);
+    ref.apply(batch);
+    if (batch_index++ < warmup) {
+      // Warm-up batches are pure insertions: they measure the insert path.
+      r.insert_rounds.record(cluster.phase_rounds());
+      continue;
+    }
+    bool has_delete = false;
+    for (const Update& u : batch)
+      has_delete |= u.type == UpdateType::kDelete;
+    if (has_delete) {
+      r.delete_rounds.record(cluster.phase_rounds());
+    } else {
+      r.insert_rounds.record(cluster.phase_rounds());
+    }
+  }
+  r.memory_words = dc.memory_words();
+  r.baseline_words = 3ull * n + 2ull * ref.m();  // adjacency-style n + m
+  r.machines = cluster.machines();
+  r.peak_object = cluster.peak_object_words();
+  r.local_capacity = cluster.local_capacity_words();
+  r.components_correct = dc.num_components() == num_components(ref);
+  r.seconds = timer.seconds();
+  return r;
+}
+
+void table_sweep_n() {
+  bench::section("E1a: sweep n (phi = 1/2, batch = 32)",
+                 "rounds/batch flat in n; total memory ~O(n), not O(n+m)");
+  Table t({"n", "final m", "del rounds max", "del rounds avg",
+           "ins rounds max", "memory words", "n+m baseline", "machines",
+           "components ok", "sec"});
+  for (const VertexId n : {256u, 512u, 1024u, 2048u, 4096u}) {
+    const auto r = run_stream(n, 0.5, 32, 40, 8, 1000 + n);
+    t.add_row()
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(static_cast<std::uint64_t>((r.baseline_words - 3ull * n) / 2))
+        .cell(r.delete_rounds.max_rounds)
+        .cell(r.delete_rounds.avg(), 1)
+        .cell(r.insert_rounds.max_rounds)
+        .cell(r.memory_words)
+        .cell(r.baseline_words)
+        .cell(r.machines)
+        .cell(r.components_correct ? "yes" : "NO")
+        .cell(r.seconds, 2);
+  }
+  t.print(std::cout);
+}
+
+void table_sweep_phi() {
+  bench::section("E1b: sweep phi (n = 1024, batch = 32)",
+                 "rounds/batch grow ~1/phi (tree fan-in n^phi)");
+  Table t({"phi", "s (records)", "del rounds max", "ins rounds max",
+           "machines", "components ok"});
+  for (const double phi : {0.5, 1.0 / 3.0, 0.25, 0.2}) {
+    const auto r = run_stream(1024, phi, 32, 30, 8, 2000);
+    mpc::MpcConfig mc;
+    mc.n = 1024;
+    mc.phi = phi;
+    mpc::Cluster probe(mc);
+    t.add_row()
+        .cell(phi, 3)
+        .cell(probe.record_capacity())
+        .cell(r.delete_rounds.max_rounds)
+        .cell(r.insert_rounds.max_rounds)
+        .cell(r.machines)
+        .cell(r.components_correct ? "yes" : "NO");
+  }
+  t.print(std::cout);
+}
+
+void table_sweep_batch() {
+  bench::section(
+      "E1c: sweep batch size (n = 1024, phi = 1/2)",
+      "rounds flat in batch size; one batch must fit one machine "
+      "(peak object <= s)");
+  Table t({"batch", "del rounds max", "ins rounds max", "peak object words",
+           "s words", "fits", "components ok"});
+  for (const std::size_t batch : {8u, 32u, 128u, 512u}) {
+    const auto r = run_stream(1024, 0.5, batch, 20, 8, 3000 + batch);
+    t.add_row()
+        .cell(static_cast<std::uint64_t>(batch))
+        .cell(r.delete_rounds.max_rounds)
+        .cell(r.insert_rounds.max_rounds)
+        .cell(r.peak_object)
+        .cell(r.local_capacity)
+        .cell(r.peak_object <= r.local_capacity ? "yes" : "NO")
+        .cell(r.components_correct ? "yes" : "NO");
+  }
+  t.print(std::cout);
+}
+
+void table_sweep_m() {
+  bench::section(
+      "E1d: sweep m at fixed n = 1024 (insert-only)",
+      "our memory is independent of m (the paper's ~O(n) vs the Theta(n+m) "
+      "of ILMP19/DDK+20/NO21); the n log^3 n constant dominates at bench "
+      "scale, the win appears once m >> n polylog");
+  Table t({"m", "our memory words", "n+m baseline words",
+           "our growth vs m=2n", "baseline growth"});
+  const VertexId n = 1024;
+  std::uint64_t ours_first = 0, base_first = 0;
+  for (const std::size_t m : {2048u, 8192u, 32768u, 131072u}) {
+    Rng rng(4200 + m);
+    ConnectivityConfig cc;
+    cc.sketch.banks = 8;
+    cc.sketch.shape = L0Shape{1, 8};
+    cc.sketch.seed = 4300 + m;
+    DynamicConnectivity dc(n, cc);
+    const auto edges = gen::gnm(n, m, rng);
+    for (const auto& b :
+         gen::into_batches(gen::insert_stream(edges, rng), 128)) {
+      dc.apply_batch(b);
+    }
+    const std::uint64_t ours = dc.memory_words();
+    const std::uint64_t base = 3ull * n + 2ull * m;
+    if (ours_first == 0) {
+      ours_first = ours;
+      base_first = base;
+    }
+    t.add_row()
+        .cell(static_cast<std::uint64_t>(m))
+        .cell(ours)
+        .cell(base)
+        .cell(static_cast<double>(ours) / static_cast<double>(ours_first), 2)
+        .cell(static_cast<double>(base) / static_cast<double>(base_first), 2);
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+}  // namespace streammpc
+
+int main() {
+  std::cout << "E1 — connectivity & spanning forest under batch updates "
+               "(Theorem 1.1 / 6.7)\n";
+  streammpc::table_sweep_n();
+  streammpc::table_sweep_phi();
+  streammpc::table_sweep_batch();
+  streammpc::table_sweep_m();
+  return 0;
+}

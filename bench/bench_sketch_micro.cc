@@ -1,0 +1,145 @@
+// M1 — microbenchmarks for the sketching substrate: coordinate codec,
+// 1-sparse cells, L0-sampler update/merge/query, full edge updates on the
+// per-vertex sketch banks.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "sketch/coord.h"
+#include "sketch/graphsketch.h"
+#include "sketch/l0sampler.h"
+#include "sketch/onesparse.h"
+
+namespace streammpc {
+namespace {
+
+void BM_CoordEncode(benchmark::State& state) {
+  EdgeCoordCodec codec(1 << 16);
+  Rng rng(1);
+  std::vector<Edge> edges;
+  for (int i = 0; i < 1024; ++i) {
+    const VertexId u = static_cast<VertexId>(rng.below(1 << 16));
+    VertexId v = static_cast<VertexId>(rng.below((1 << 16) - 1));
+    if (v >= u) ++v;
+    edges.push_back(make_edge(u, v));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(edges[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_CoordEncode);
+
+void BM_CoordDecode(benchmark::State& state) {
+  EdgeCoordCodec codec(1 << 16);
+  Rng rng(2);
+  std::vector<Coord> coords;
+  for (int i = 0; i < 1024; ++i) coords.push_back(rng.below(codec.dimension()));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode(coords[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_CoordDecode);
+
+void BM_OneSparseUpdate(benchmark::State& state) {
+  OneSparseCell cell;
+  Rng rng(3);
+  std::vector<Coord> coords;
+  for (int i = 0; i < 1024; ++i) coords.push_back(rng.below(1ULL << 30));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    cell.update(coords[i & 1023], (i & 1) ? 1 : -1, 0x1234567);
+    ++i;
+  }
+  benchmark::DoNotOptimize(cell);
+}
+BENCHMARK(BM_OneSparseUpdate);
+
+void BM_L0SamplerUpdate(benchmark::State& state) {
+  L0Params params(1ULL << 30, {2, 8}, 4);
+  L0Sampler sampler;
+  Rng rng(5);
+  std::vector<Coord> coords;
+  for (int i = 0; i < 1024; ++i) coords.push_back(rng.below(1ULL << 30));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sampler.update(params, coords[i++ & 1023], 1);
+  }
+  benchmark::DoNotOptimize(sampler);
+}
+BENCHMARK(BM_L0SamplerUpdate);
+
+void BM_L0SamplerMerge(benchmark::State& state) {
+  L0Params params(1ULL << 30, {2, 8}, 6);
+  Rng rng(7);
+  L0Sampler a, b;
+  for (int i = 0; i < 256; ++i) {
+    a.update(params, rng.below(1ULL << 30), 1);
+    b.update(params, rng.below(1ULL << 30), 1);
+  }
+  for (auto _ : state) {
+    L0Sampler acc = a;
+    acc.merge(params, b);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_L0SamplerMerge);
+
+void BM_L0SamplerQuery(benchmark::State& state) {
+  L0Params params(1ULL << 30, {2, 8}, 8);
+  Rng rng(9);
+  L0Sampler sampler;
+  for (std::int64_t i = 0; i < state.range(0); ++i)
+    sampler.update(params, rng.below(1ULL << 30), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(params));
+  }
+}
+BENCHMARK(BM_L0SamplerQuery)->Arg(1)->Arg(64)->Arg(4096);
+
+void BM_VertexSketchEdgeUpdate(benchmark::State& state) {
+  GraphSketchConfig cfg;
+  cfg.banks = static_cast<unsigned>(state.range(0));
+  cfg.seed = 10;
+  const VertexId n = 4096;
+  VertexSketches vs(n, cfg);
+  Rng rng(11);
+  std::vector<Edge> edges;
+  for (int i = 0; i < 1024; ++i) {
+    const VertexId u = static_cast<VertexId>(rng.below(n));
+    VertexId v = static_cast<VertexId>(rng.below(n - 1));
+    if (v >= u) ++v;
+    edges.push_back(make_edge(u, v));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    vs.update_edge(edges[i & 1023], (i & 1) ? 1 : -1);
+    ++i;
+  }
+}
+BENCHMARK(BM_VertexSketchEdgeUpdate)->Arg(4)->Arg(12);
+
+void BM_MergedBoundarySample(benchmark::State& state) {
+  GraphSketchConfig cfg;
+  cfg.banks = 2;
+  cfg.seed = 12;
+  const VertexId n = 1024;
+  VertexSketches vs(n, cfg);
+  Rng rng(13);
+  for (int i = 0; i < 4096; ++i) {
+    const VertexId u = static_cast<VertexId>(rng.below(n));
+    VertexId v = static_cast<VertexId>(rng.below(n - 1));
+    if (v >= u) ++v;
+    vs.update_edge(make_edge(u, v), 1);
+  }
+  std::vector<VertexId> component;
+  for (VertexId v = 0; v < static_cast<VertexId>(state.range(0)); ++v)
+    component.push_back(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vs.sample_boundary(0, component));
+  }
+}
+BENCHMARK(BM_MergedBoundarySample)->Arg(16)->Arg(128)->Arg(512);
+
+}  // namespace
+}  // namespace streammpc

@@ -1,0 +1,49 @@
+// Shared helpers for the experiment harnesses (bench/bench_*.cc).
+#pragma once
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "common/random.h"
+#include "common/table.h"
+#include "graph/streams.h"
+#include "mpc/cluster.h"
+
+namespace streammpc::bench {
+
+inline void section(const std::string& title, const std::string& claim) {
+  std::cout << "\n=== " << title << " ===\n";
+  if (!claim.empty()) std::cout << "paper claim: " << claim << "\n";
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+struct PhaseRounds {
+  std::uint64_t max_rounds = 0;
+  std::uint64_t total_rounds = 0;
+  std::uint64_t phases = 0;
+  double avg() const {
+    return phases == 0 ? 0.0
+                       : static_cast<double>(total_rounds) /
+                             static_cast<double>(phases);
+  }
+  void record(std::uint64_t rounds) {
+    max_rounds = std::max(max_rounds, rounds);
+    total_rounds += rounds;
+    ++phases;
+  }
+};
+
+}  // namespace streammpc::bench

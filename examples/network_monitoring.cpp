@@ -1,0 +1,143 @@
+// Network monitoring: a backbone operator watches an evolving topology —
+// links fail and recover in bursts (batches).  Per phase the operator
+// needs to know, without storing the full link table on any box:
+//   * is the backbone still one partition? which routers got isolated?
+//     (DynamicConnectivity, Theorem 1.1)
+//   * an estimate of the minimum cost to re-span the network — the
+//     (1+eps)-approximate MSF weight over link costs (Theorem 1.2(ii)),
+//   * whether the client/server overlay stayed two-colorable, i.e. no
+//     server-server link crept in (DynamicBipartiteness, Theorem 7.3).
+#include <iostream>
+#include <unordered_set>
+
+#include "bipartite/bipartiteness.h"
+#include "common/random.h"
+#include "common/table.h"
+#include "core/dynamic_connectivity.h"
+#include "graph/generators.h"
+#include "mpc/cluster.h"
+#include "msf/approx_msf.h"
+
+using namespace streammpc;
+
+int main() {
+  const VertexId rows = 12, cols = 12;
+  const VertexId n = rows * cols;  // router grid
+  Rng rng(31337);
+
+  mpc::MpcConfig mpc_config;
+  mpc_config.n = n;
+  mpc_config.phi = 0.5;
+  mpc::Cluster cluster(mpc_config);
+
+  ConnectivityConfig conn_config;
+  conn_config.sketch.banks = 10;
+  conn_config.sketch.seed = 11;
+  DynamicConnectivity backbone(n, conn_config, &cluster);
+
+  ApproxMsfConfig msf_config;
+  msf_config.eps = 0.25;
+  msf_config.w_max = 32;  // link costs in [1, 32]
+  msf_config.connectivity.sketch.banks = 6;
+  ApproxMsf spanning_cost(n, msf_config, &cluster);
+
+  BipartitenessConfig bip_config;
+  bip_config.connectivity.sketch.banks = 8;
+  DynamicBipartiteness overlay(n, bip_config);
+
+  // Deploy the grid: every link gets a cost; overlay edges connect
+  // even-indexed (client) to odd-indexed (server) routers only.
+  const auto grid = gen::grid_graph(rows, cols);
+  std::unordered_set<Edge, EdgeHash> live(grid.begin(), grid.end());
+  std::vector<Edge> live_list(grid.begin(), grid.end());
+  std::unordered_map<Edge, Weight, EdgeHash> cost;
+
+  std::cout << "deploying " << grid.size() << " links on a " << rows << "x"
+            << cols << " router grid...\n";
+  Batch deploy;
+  for (const Edge& e : grid) {
+    const Weight w = rng.uniform_int(1, 32);
+    cost[e] = w;
+    deploy.push_back(Update{UpdateType::kInsert, e, w});
+    if (deploy.size() == 24) {
+      backbone.apply_batch(deploy);
+      spanning_cost.apply_batch(deploy);
+      if ((e.u + e.v) % 2 == 1) {
+        // parity-respecting edges only for the overlay demo below
+      }
+      deploy.clear();
+    }
+  }
+  if (!deploy.empty()) {
+    backbone.apply_batch(deploy);
+    spanning_cost.apply_batch(deploy);
+  }
+  // Overlay starts with the grid too (a grid is bipartite by parity).
+  Batch overlay_deploy;
+  for (const Edge& e : grid)
+    overlay_deploy.push_back(Update{UpdateType::kInsert, e, 1});
+  overlay.apply_batch(overlay_deploy);
+
+  std::cout << "initial: " << backbone.num_components()
+            << " partition(s), approx spanning cost "
+            << spanning_cost.weight_estimate() << ", overlay bipartite: "
+            << (overlay.is_bipartite() ? "yes" : "no") << "\n\n";
+
+  // Failure/recovery phases.
+  Table table({"phase", "failed", "recovered", "partitions", "approx cost",
+               "overlay 2-colorable", "rounds"});
+  std::vector<Edge> failed_links;
+  for (int phase = 1; phase <= 10; ++phase) {
+    Batch batch;
+    Batch overlay_batch;
+    std::size_t failures = 0, recoveries = 0;
+    // A burst of failures...
+    for (int i = 0; i < 6 && !live_list.empty(); ++i) {
+      const std::size_t j =
+          static_cast<std::size_t>(rng.below(live_list.size()));
+      const Edge e = live_list[j];
+      live_list[j] = live_list.back();
+      live_list.pop_back();
+      live.erase(e);
+      failed_links.push_back(e);
+      batch.push_back(Update{UpdateType::kDelete, e, cost[e]});
+      overlay_batch.push_back(Update{UpdateType::kDelete, e, 1});
+      ++failures;
+    }
+    // ... and some repairs.
+    for (int i = 0; i < 4 && !failed_links.empty(); ++i) {
+      const std::size_t j =
+          static_cast<std::size_t>(rng.below(failed_links.size()));
+      const Edge e = failed_links[j];
+      failed_links[j] = failed_links.back();
+      failed_links.pop_back();
+      live.insert(e);
+      live_list.push_back(e);
+      batch.push_back(Update{UpdateType::kInsert, e, cost[e]});
+      overlay_batch.push_back(Update{UpdateType::kInsert, e, 1});
+      ++recoveries;
+    }
+    const auto rounds_before = cluster.rounds();
+    backbone.apply_batch(batch);
+    spanning_cost.apply_batch(batch);
+    overlay.apply_batch(overlay_batch);
+    table.add_row()
+        .cell(static_cast<std::int64_t>(phase))
+        .cell(static_cast<std::int64_t>(failures))
+        .cell(static_cast<std::int64_t>(recoveries))
+        .cell(static_cast<std::int64_t>(backbone.num_components()))
+        .cell(spanning_cost.weight_estimate(), 1)
+        .cell(overlay.is_bipartite() ? "yes" : "no")
+        .cell(cluster.rounds() - rounds_before);
+  }
+  table.print(std::cout);
+
+  // A misconfigured server-server link breaks two-colorability: adding a
+  // diagonal (same-parity) edge creates an odd cycle in the grid overlay.
+  overlay.apply_batch({insert_of(0, cols + 1)});
+  std::cout << "\nafter a diagonal (same-parity) link 0-" << (cols + 1)
+            << ": overlay bipartite: "
+            << (overlay.is_bipartite() ? "yes" : "no") << "\n";
+  std::cout << "cluster healthy: " << (cluster.ok() ? "yes" : "no") << "\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Telemetry estimation: a high-rate interaction stream (who-talked-to-whom
+// in a fleet of services) where the operator only needs *aggregate*
+// telemetry — "how large is a maximum set of disjoint busy pairs?" — not
+// the pairs themselves.  Theorems 8.5/8.6: estimating the matching size
+// costs an alpha factor less memory than maintaining a matching.
+//
+// Also demonstrates the §4 sequential streaming connectivity structure
+// (Algorithms 1–4): the single-machine counterpart of the MPC design,
+// processing one update at a time with the same ~O(n) space.
+#include <iostream>
+
+#include "common/random.h"
+#include "common/table.h"
+#include "core/streaming_connectivity.h"
+#include "graph/generators.h"
+#include "graph/streams.h"
+#include "matching/size_estimator.h"
+
+using namespace streammpc;
+
+int main() {
+  const VertexId n = 2048;  // services
+  const double alpha = 8;   // acceptable estimation slack
+  Rng rng(606);
+
+  SizeEstimatorConfig est_config;
+  est_config.alpha = alpha;
+  est_config.seed = 607;
+  InsertionOnlySizeEstimator busy_pairs(n, est_config);
+
+  GraphSketchConfig sketch_config;
+  sketch_config.banks = 8;
+  sketch_config.seed = 608;
+  StreamingConnectivity reachability(n, sketch_config);
+
+  // Interaction stream: a planted pairing (every service has a designated
+  // partner) plus random cross-talk, so the true maximum matching is n/2.
+  const auto interactions = gen::planted_matching(n, 3 * n, rng);
+  const auto stream = gen::insert_stream(interactions, rng);
+
+  Table table({"events seen", "est. busy pairs", "true OPT", "components",
+               "estimator words", "connectivity words"});
+  std::size_t seen = 0;
+  for (const Update& u : stream) {
+    busy_pairs.apply_insert_batch({u.e});
+    reachability.apply(u);
+    ++seen;
+    if (seen % (stream.size() / 5) == 0 || seen == stream.size()) {
+      table.add_row()
+          .cell(static_cast<std::uint64_t>(seen))
+          .cell(busy_pairs.estimate(), 0)
+          .cell(static_cast<std::int64_t>(n / 2))
+          .cell(static_cast<std::uint64_t>(reachability.num_components()))
+          .cell(busy_pairs.memory_words())
+          .cell(reachability.memory_words());
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nestimate/OPT = "
+            << busy_pairs.estimate() / (static_cast<double>(n) / 2)
+            << " (within the O(alpha) band at alpha = " << alpha << ")\n";
+  std::cout << "estimator footprint " << busy_pairs.memory_words()
+            << " words ~ n/alpha^2 = "
+            << static_cast<std::uint64_t>(n / (alpha * alpha))
+            << " words-scale — an alpha factor below storing a matching\n";
+  return 0;
+}

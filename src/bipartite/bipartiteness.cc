@@ -1,0 +1,54 @@
+#include "bipartite/bipartiteness.h"
+
+#include "common/random.h"
+
+namespace streammpc {
+
+namespace {
+ConnectivityConfig with_seed(ConnectivityConfig cc, std::uint64_t seed,
+                             const char* prefix) {
+  cc.sketch.seed = seed;
+  cc.ledger_prefix = prefix;
+  return cc;
+}
+}  // namespace
+
+// The base graph and its double cover are maintained by two connectivity
+// instances running in parallel on the MPC, so a phase costs the max of
+// their round bills; the cluster is attached to the cover (the 2n-vertex
+// instance, whose bill dominates) and the wrapper publishes the base
+// instance's memory under its own label.
+DynamicBipartiteness::DynamicBipartiteness(VertexId n,
+                                           const BipartitenessConfig& config,
+                                           mpc::Cluster* cluster)
+    : n_(n),
+      cluster_(cluster),
+      base_(n,
+            with_seed(config.connectivity, SplitMix64(config.seed).next(),
+                      "bipartite/base"),
+            nullptr),
+      cover_(2 * n,
+             with_seed(config.connectivity,
+                       SplitMix64(config.seed ^ 0x2222).next(),
+                       "bipartite/cover"),
+             cluster) {}
+
+void DynamicBipartiteness::apply_batch(const Batch& batch) {
+  base_.apply_batch(batch);
+  Batch cover_batch;
+  cover_batch.reserve(2 * batch.size());
+  for (const Update& u : batch) {
+    // {u, v} -> {u1, v2} and {u2, v1}.
+    cover_batch.push_back(
+        Update{u.type, make_edge(u.e.u, static_cast<VertexId>(n_ + u.e.v)),
+               u.w});
+    cover_batch.push_back(
+        Update{u.type, make_edge(static_cast<VertexId>(n_ + u.e.u), u.e.v),
+               u.w});
+  }
+  cover_.apply_batch(cover_batch);
+  if (cluster_ != nullptr)
+    cluster_->set_usage("bipartite/base", base_.memory_words());
+}
+
+}  // namespace streammpc

@@ -1,0 +1,52 @@
+// Lightweight runtime-check macros used across the library.
+//
+// SMPC_CHECK is always on (it guards API contracts and data-structure
+// invariants whose violation would silently corrupt results); SMPC_DCHECK
+// compiles away in NDEBUG builds and is used in hot loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace streammpc {
+
+// Thrown when a library invariant or an API precondition is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "SMPC_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace streammpc
+
+#define SMPC_CHECK(cond)                                                    \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::streammpc::detail::check_failed(#cond, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define SMPC_CHECK_MSG(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream smpc_os_;                                          \
+      smpc_os_ << msg;                                                      \
+      ::streammpc::detail::check_failed(#cond, __FILE__, __LINE__,          \
+                                        smpc_os_.str());                    \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define SMPC_DCHECK(cond) ((void)0)
+#else
+#define SMPC_DCHECK(cond) SMPC_CHECK(cond)
+#endif

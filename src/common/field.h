@@ -1,0 +1,62 @@
+// Arithmetic in the prime field GF(p) with p = 2^61 - 1 (Mersenne prime).
+//
+// Used by the k-wise independent hash families and by the sketch
+// fingerprints.  All operations are branch-light and constexpr-friendly.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace streammpc {
+
+struct Mersenne61 {
+  static constexpr std::uint64_t kPrime = (1ULL << 61) - 1;
+
+  // Reduces an arbitrary 64-bit value into [0, p).
+  static constexpr std::uint64_t reduce(std::uint64_t x) {
+    x = (x & kPrime) + (x >> 61);
+    if (x >= kPrime) x -= kPrime;
+    return x;
+  }
+
+  static constexpr std::uint64_t add(std::uint64_t a, std::uint64_t b) {
+    std::uint64_t s = a + b;  // both < 2^61, no overflow
+    if (s >= kPrime) s -= kPrime;
+    return s;
+  }
+
+  static constexpr std::uint64_t sub(std::uint64_t a, std::uint64_t b) {
+    return a >= b ? a - b : a + kPrime - b;
+  }
+
+  static constexpr std::uint64_t mul(std::uint64_t a, std::uint64_t b) {
+    __uint128_t prod = static_cast<__uint128_t>(a) * b;
+    std::uint64_t lo = static_cast<std::uint64_t>(prod) & kPrime;
+    std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
+    std::uint64_t s = lo + hi;
+    if (s >= kPrime) s -= kPrime;
+    return s;
+  }
+
+  static constexpr std::uint64_t pow(std::uint64_t base, std::uint64_t e) {
+    std::uint64_t acc = 1;
+    base = reduce(base);
+    while (e > 0) {
+      if (e & 1) acc = mul(acc, base);
+      base = mul(base, base);
+      e >>= 1;
+    }
+    return acc;
+  }
+
+  // Multiplicative inverse via Fermat's little theorem; a must be nonzero
+  // mod p.
+  static std::uint64_t inv(std::uint64_t a) {
+    a = reduce(a);
+    SMPC_CHECK(a != 0);
+    return pow(a, kPrime - 2);
+  }
+};
+
+}  // namespace streammpc

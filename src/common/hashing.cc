@@ -1,0 +1,31 @@
+#include "common/hashing.h"
+
+#include "common/check.h"
+
+namespace streammpc {
+
+KWiseHash::KWiseHash(int k, std::uint64_t seed) {
+  SMPC_CHECK(k >= 1);
+  SplitMix64 sm(seed);
+  coeffs_.resize(static_cast<std::size_t>(k));
+  for (auto& c : coeffs_) c = Mersenne61::reduce(sm.next());
+  // Ensure the leading coefficient is nonzero so the polynomial has full
+  // degree (required for exact k-wise independence of the construction).
+  while (coeffs_.front() == 0) coeffs_.front() = Mersenne61::reduce(sm.next());
+}
+
+std::uint64_t KWiseHash::bucket(std::uint64_t x, std::uint64_t range) const {
+  SMPC_CHECK(range > 0);
+  const std::uint64_t v = (*this)(x);
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(v) * range) >> 61);
+}
+
+bool KWiseHash::coin(std::uint64_t x, std::uint64_t num,
+                     std::uint64_t den) const {
+  SMPC_CHECK(den > 0);
+  // P[bucket < num] = num/den (up to O(den/p) bias).
+  return bucket(x, den) < num;
+}
+
+}  // namespace streammpc

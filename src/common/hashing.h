@@ -1,0 +1,57 @@
+// k-wise independent hash families over GF(2^61 - 1).
+//
+// h(x) = (a_{k-1} x^{k-1} + ... + a_1 x + a_0) mod p, with the a_i chosen
+// uniformly from the field, is a k-wise independent family — the standard
+// construction behind the paper's "pairwise independent" (Lemmas 3.1, §8.1)
+// and "four-wise independent" (§8.2) hash functions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/field.h"
+#include "common/random.h"
+
+namespace streammpc {
+
+class KWiseHash {
+ public:
+  // Draws a degree-(k-1) polynomial with coefficients seeded by `seed`.
+  KWiseHash(int k, std::uint64_t seed);
+
+  // Raw field hash: uniform over [0, 2^61 - 1).
+  std::uint64_t operator()(std::uint64_t x) const {
+    std::uint64_t acc = 0;
+    // Horner evaluation; coeffs_ stored highest degree first.
+    for (std::uint64_t c : coeffs_) {
+      acc = Mersenne61::add(Mersenne61::mul(acc, Mersenne61::reduce(x)), c);
+    }
+    return acc;
+  }
+
+  // Hash into [0, range).  Uses a multiply-shift projection of the field
+  // value; the bias is O(range / p), negligible for range << 2^61.
+  std::uint64_t bucket(std::uint64_t x, std::uint64_t range) const;
+
+  // Bernoulli(num/den) indicator derived from the hash value (used for
+  // level subsampling and vertex sampling).
+  bool coin(std::uint64_t x, std::uint64_t num, std::uint64_t den) const;
+
+  int independence() const { return static_cast<int>(coeffs_.size()); }
+
+ private:
+  std::vector<std::uint64_t> coeffs_;
+};
+
+// Convenience aliases matching the paper's vocabulary.
+class PairwiseHash : public KWiseHash {
+ public:
+  explicit PairwiseHash(std::uint64_t seed) : KWiseHash(2, seed) {}
+};
+
+class FourWiseHash : public KWiseHash {
+ public:
+  explicit FourWiseHash(std::uint64_t seed) : KWiseHash(4, seed) {}
+};
+
+}  // namespace streammpc

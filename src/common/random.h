@@ -1,0 +1,74 @@
+// Deterministic, platform-independent pseudo-random generators.
+//
+// All randomness in the library flows from explicit 64-bit seeds so that
+// every algorithm, test, and benchmark is reproducible bit-for-bit.  We do
+// not use std::mt19937 / std::uniform_int_distribution because their output
+// is not guaranteed identical across standard-library implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace streammpc {
+
+// SplitMix64: tiny generator used to expand a seed into stream of seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256**: the library's general-purpose engine.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  std::uint64_t next();
+
+  // UniformRandomBitGenerator interface (usable with std::shuffle).
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  // Uniform integer in [0, bound); bound must be positive.  Uses Lemire's
+  // multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double uniform01();
+
+  // Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  // Derives an independent child generator (for per-component seeding).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+// Fisher–Yates shuffle driven by our deterministic engine.
+template <typename T>
+void shuffle(std::vector<T>& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::size_t j = static_cast<std::size_t>(rng.below(i));
+    using std::swap;
+    swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace streammpc

@@ -1,0 +1,59 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streammpc {
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::vector<double> v = values;
+  std::sort(v.begin(), v.end());
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  s.mean = sum / static_cast<double>(v.size());
+  double var = 0.0;
+  for (double x : v) var += (x - s.mean) * (x - s.mean);
+  s.stddev = v.size() > 1
+                 ? std::sqrt(var / static_cast<double>(v.size() - 1))
+                 : 0.0;
+  s.min = v.front();
+  s.max = v.back();
+  auto at = [&](double q) {
+    const double pos = q * static_cast<double>(v.size() - 1);
+    const std::size_t i = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(i);
+    if (i + 1 < v.size()) return v[i] * (1 - frac) + v[i + 1] * frac;
+    return v[i];
+  };
+  s.p50 = at(0.5);
+  s.p99 = at(0.99);
+  return s;
+}
+
+double loglog_slope(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  SMPC_CHECK(x.size() == y.size());
+  SMPC_CHECK(x.size() >= 2);
+  const std::size_t n = x.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    SMPC_CHECK(x[i] > 0 && y[i] > 0);
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  SMPC_CHECK(std::abs(denom) > 1e-12);
+  return (dn * sxy - sx * sy) / denom;
+}
+
+}  // namespace streammpc

@@ -1,0 +1,27 @@
+// Small summary-statistics helpers used by benches and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace streammpc {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+// Computes summary statistics (copies and sorts internally).
+Summary summarize(const std::vector<double>& values);
+
+// Least-squares slope of log(y) against log(x): the empirical growth
+// exponent.  Benches use it to check memory/round scaling shapes
+// (e.g. slope ~1 for linear-in-n memory, slope ~0 for constant rounds).
+double loglog_slope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace streammpc

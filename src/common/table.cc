@@ -1,0 +1,70 @@
+#include "common/table.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace streammpc {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SMPC_CHECK(!headers_.empty());
+}
+
+Table& Table::add_row() {
+  SMPC_CHECK_MSG(rows_.empty() || rows_.back().size() == headers_.size(),
+                 "previous row incomplete");
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  SMPC_CHECK(!rows_.empty() && rows_.back().size() < headers_.size());
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+
+  rule();
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+       << headers_[c] << " |";
+  os << '\n';
+  rule();
+  for (const auto& row : rows_) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+         << row[c] << " |";
+    os << '\n';
+  }
+  rule();
+}
+
+}  // namespace streammpc

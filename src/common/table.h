@@ -1,0 +1,33 @@
+// Plain-text table printer used by the benchmark harnesses to emit the
+// paper-style claim tables (one row per sweep point).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace streammpc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Row construction: call add_row(), then cell() once per column.
+  Table& add_row();
+  Table& cell(const std::string& value);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+  Table& cell(double value, int precision = 3);
+
+  // Renders with aligned columns to `os`.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace streammpc

@@ -1,0 +1,69 @@
+#include "core/agm_static.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "graph/reference.h"
+#include "mpc/primitives.h"
+
+namespace streammpc {
+
+AgmStaticConnectivity::AgmStaticConnectivity(VertexId n,
+                                             const GraphSketchConfig& sketch,
+                                             mpc::Cluster* cluster)
+    : n_(n), cluster_(cluster), sketches_(n, sketch) {}
+
+void AgmStaticConnectivity::apply(const Update& update) {
+  mpc::broadcast(cluster_, 1, "agm/sketch-update");
+  sketches_.update_edge(update.e,
+                        update.type == UpdateType::kInsert ? +1 : -1);
+}
+
+void AgmStaticConnectivity::apply_batch(const Batch& batch) {
+  if (cluster_ != nullptr) cluster_->begin_phase();
+  mpc::broadcast(cluster_, batch.size(), "agm/sketch-update");
+  for (const Update& u : batch) {
+    sketches_.update_edge(u.e, u.type == UpdateType::kInsert ? +1 : -1);
+  }
+  if (cluster_ != nullptr)
+    cluster_->set_usage("agm/sketches", sketches_.allocated_words());
+}
+
+AgmStaticConnectivity::QueryResult
+AgmStaticConnectivity::query_spanning_forest() {
+  const std::uint64_t rounds_before =
+      cluster_ != nullptr ? cluster_->rounds() : 0;
+  QueryResult result;
+  Dsu dsu(n_);
+  unsigned level = 0;
+  for (; level < sketches_.banks(); ++level) {
+    // One Boruvka level: merge each supernode's sketches (bank `level`)
+    // and sample one outgoing edge per supernode.
+    if (cluster_ != nullptr) {
+      cluster_->add_rounds(cluster_->aggregate_rounds(n_) + 1,
+                           "agm/query-level");
+      cluster_->charge_comm(n_);
+    }
+    std::unordered_map<VertexId, std::vector<VertexId>> supernodes;
+    for (VertexId v = 0; v < n_; ++v) supernodes[dsu.find(v)].push_back(v);
+    bool progress = false;
+    for (const auto& [root, members] : supernodes) {
+      const auto e = sketches_.sample_boundary(
+          level, std::span<const VertexId>(members.data(), members.size()));
+      if (e && dsu.unite(e->u, e->v)) {
+        result.forest.push_back(*e);
+        progress = true;
+      }
+    }
+    if (!progress) break;
+  }
+  std::sort(result.forest.begin(), result.forest.end());
+  result.components = dsu.num_sets();
+  result.levels = level + 1;
+  result.rounds =
+      cluster_ != nullptr ? cluster_->rounds() - rounds_before : 0;
+  return result;
+}
+
+}  // namespace streammpc

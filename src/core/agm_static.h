@@ -1,0 +1,57 @@
+// Direct MPC implementation of the Ahn–Guha–McGregor sketch algorithm
+// (paper §4.1) — the baseline the paper's maintained-forest design is
+// measured against (§2.1, bench E8).
+//
+// State: only the t = O(log n) independent sketch banks per vertex; no
+// forest, no component ids.  Every update is a sketch update (O(1)
+// rounds).  A spanning-forest query runs the AGM Boruvka procedure: level
+// i merges the sketches of the current supernodes using bank i and samples
+// one outgoing edge per supernode — O(log n) levels, hence O(log n) MPC
+// rounds per query, versus O(1) for the paper's structure.
+//
+// Space is the same O(n log^3 n) as the maintained structure; the trade is
+// purely update-versus-query rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "mpc/cluster.h"
+#include "sketch/graphsketch.h"
+
+namespace streammpc {
+
+class AgmStaticConnectivity {
+ public:
+  AgmStaticConnectivity(VertexId n, const GraphSketchConfig& sketch,
+                        mpc::Cluster* cluster = nullptr);
+
+  VertexId n() const { return n_; }
+
+  // O(1)-round updates: only the endpoint sketches change.
+  void apply(const Update& update);
+  void apply_batch(const Batch& batch);
+
+  struct QueryResult {
+    std::vector<Edge> forest;   // sampled spanning forest (sorted)
+    std::size_t components = 0; // supernode count at termination
+    unsigned levels = 0;        // Boruvka levels executed
+    std::uint64_t rounds = 0;   // MPC rounds charged for this query
+  };
+
+  // Reconstructs a spanning forest from the sketches alone (§4.1's t
+  // iterative steps).  Consumes one bank per level; correct w.h.p. when
+  // banks >= ~2 log2 n.
+  QueryResult query_spanning_forest();
+
+  std::uint64_t memory_words() const { return sketches_.allocated_words(); }
+  const VertexSketches& sketches() const { return sketches_; }
+
+ private:
+  VertexId n_;
+  mpc::Cluster* cluster_;
+  VertexSketches sketches_;
+};
+
+}  // namespace streammpc

@@ -1,0 +1,134 @@
+// Batch-dynamic connectivity and spanning forest in streaming MPC —
+// the paper's main contribution (Theorem 1.1 / Theorem 6.7, §4–§6).
+//
+// State maintained (paper §4.2):
+//   * component ids C[v]  — the minimum vertex id of v's component,
+//   * an explicit spanning forest F stored as Euler tours (§5),
+//   * t = O(log n) independent AGM sketch banks per vertex (§6.3).
+//
+// A phase processes one batch of <= ~O(n^phi) updates in O(1/phi) rounds:
+//
+//   Insertions (§6.1): update sketches; build the auxiliary graph H over
+//   affected components on one machine (Claim 6.1); its spanning forest
+//   F_H gives exactly the new tree edges; splice the Euler tours with one
+//   batch join (Lemma 6.4).
+//
+//   Deletions (§6.3): update sketches; batch-split the deleted tree edges;
+//   the affected trees shatter into fragments Z_1..Z_p; per fragment and
+//   bank, merge the member sketches (O(1/phi) rounds) and gather them on
+//   one machine (Lemma 6.5); run AGM/Boruvka locally — level i queries
+//   bank i for a replacement edge out of each current group — and
+//   batch-join the accepted replacement edges.
+//
+// Correctness is with high probability against an oblivious adversary for
+// poly(n)-length streams (§1.1); failures are observable as over-counted
+// components and are metered in Stats (see bench_sketch_ablation).
+//
+// Total memory is ~O(n): sketches + tours + labels, independent of the
+// number of edges m — the key difference from [ILMP19, DDK+20, NO21].
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "euler/tour_forest.h"
+#include "graph/types.h"
+#include "mpc/cluster.h"
+#include "sketch/graphsketch.h"
+
+namespace streammpc {
+
+struct ConnectivityConfig {
+  GraphSketchConfig sketch;
+  // Stop the Boruvka replacement search after this many consecutive
+  // levels in which no group recovered any edge (robustness against
+  // individual sampler failures; 1 = the paper's bare loop).
+  unsigned boruvka_patience = 2;
+  // Prefix for this instance's memory-ledger labels on the cluster.
+  // Wrappers that run several connectivity instances in parallel (approx
+  // MSF levels, the double cover) give each a distinct prefix so the
+  // ledger sums rather than overwrites.
+  std::string ledger_prefix = "connectivity";
+};
+
+class DynamicConnectivity {
+ public:
+  DynamicConnectivity(VertexId n, const ConnectivityConfig& config = {},
+                      mpc::Cluster* cluster = nullptr);
+
+  VertexId n() const { return n_; }
+
+  // Processes one phase's batch: insertions first, then deletions (§1.2).
+  // Offsetting insert/delete pairs of the same edge within one batch are
+  // cancelled out first.
+  void apply_batch(const Batch& batch);
+
+  // Pre-computation phase (§1.1): initialize from an arbitrary static
+  // graph using a static MPC algorithm in O(log n) rounds ([AGM12, NO21])
+  // instead of feeding ~m/n^phi insert batches.  Must be called on a
+  // structure that has processed no updates yet; edges must be distinct.
+  void bootstrap(std::span<const Edge> edges);
+
+  // --- queries: the solution is maintained, so all are O(1) rounds -----------
+  VertexId component_of(VertexId v) const { return labels_[v]; }
+  bool same_component(VertexId u, VertexId v) const {
+    return labels_[u] == labels_[v];
+  }
+  std::size_t num_components() const { return forest_.num_trees(); }
+  std::vector<Edge> spanning_forest() const;  // sorted
+
+  // Batch of connectivity queries (à la [DDK+20]): up to ~O(n^phi) pairs
+  // answered in O(1) rounds (route pairs to label holders, sort back).
+  std::vector<bool> batch_query(
+      std::span<const std::pair<VertexId, VertexId>> pairs);
+
+  // All components as vertex lists, keyed by their label, produced by
+  // sorting the label array (O(1) rounds, §1.1).
+  std::vector<std::vector<VertexId>> components();
+  const std::vector<VertexId>& labels() const { return labels_; }
+  const EulerTourForest& forest() const { return forest_; }
+  EulerTourForest& mutable_forest() { return forest_; }
+  const VertexSketches& sketches() const { return sketches_; }
+
+  struct Stats {
+    std::uint64_t batches = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t deletes = 0;
+    std::uint64_t tree_inserts = 0;       // edges that joined components
+    std::uint64_t tree_deletes = 0;       // deleted spanning-forest edges
+    std::uint64_t replacements_found = 0; // sketch-recovered replacement edges
+    std::uint64_t boruvka_levels = 0;     // total levels over all batches
+    std::uint64_t max_banks_used = 0;     // max banks consumed in one phase
+    std::uint64_t empty_levels = 0;       // levels where every sample failed
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Words of total memory currently used (sketches + forest + labels);
+  // also pushed to the cluster ledger after every batch.
+  std::uint64_t memory_words() const;
+
+ private:
+  void apply_inserts(const std::vector<Update>& ins);
+  void apply_deletes(const std::vector<Update>& del);
+  void relabel_trees_of(const std::vector<VertexId>& touched);
+  void publish_usage();
+
+  VertexId n_;
+  ConnectivityConfig config_;
+  mpc::Cluster* cluster_;
+  VertexSketches sketches_;
+  EulerTourForest forest_;
+  std::vector<VertexId> labels_;
+  Stats stats_;
+};
+
+// Cancels offsetting insert/delete pairs of the same edge and splits the
+// batch into (inserts, deletes).  Exposed for the other problem layers.
+std::pair<std::vector<Update>, std::vector<Update>> normalize_batch(
+    const Batch& batch);
+
+}  // namespace streammpc

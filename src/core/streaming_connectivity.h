@@ -1,0 +1,84 @@
+// The paper's §4 *sequential streaming* connectivity algorithm
+// (Algorithms 1–4) — the single-machine counterpart of the MPC structure,
+// and the algorithm Section 5 then implements in MPC.
+//
+// State (§4.2): component ids C[v] (minimum vertex id of the component),
+// an explicit spanning forest F, and a linear AGM sketch per vertex.
+//
+//   Insert {u,v} (Algorithm 2): update the endpoint sketches; if the
+//   components differ, add {u,v} to F and relabel the losing side.
+//
+//   Delete {u,v} (Algorithm 3): update the endpoint sketches; if {u,v} is
+//   a tree edge, split F into Z_u and Z_v, merge the sketches of Z_u, and
+//   query for a replacement edge across the cut (Observation 4.3); rejoin
+//   or relabel.
+//
+//   Query (Algorithm 4): report the maintained forest — O(1) time.
+//
+// Update time is ~O(n) (the paper's trade-off against AGM's polylog
+// updates: AGM pays O(log n) rounds at query time, this structure none),
+// space is O(n log^3 n) bits.  Correctness is w.h.p. against an oblivious
+// adversary for poly(n)-length streams.
+//
+// The class keeps t >= 1 independent sketch banks and rotates the bank
+// used per deletion so repeated deletions do not re-query the same
+// randomness (the single-sketch variant of the paper corresponds to
+// banks = 1; §6.3 upgrades to t = O(log n), which is the default here).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "graph/types.h"
+#include "sketch/graphsketch.h"
+
+namespace streammpc {
+
+class StreamingConnectivity {
+ public:
+  explicit StreamingConnectivity(VertexId n, GraphSketchConfig sketch = {});
+
+  VertexId n() const { return n_; }
+
+  // Single-update stream interface (Algorithm 1's dispatch).
+  void insert(VertexId u, VertexId v);
+  void erase(VertexId u, VertexId v);
+  void apply(const Update& update);
+
+  // --- queries ---------------------------------------------------------------
+  VertexId component_of(VertexId v) const { return labels_[v]; }
+  bool same_component(VertexId u, VertexId v) const {
+    return labels_[u] == labels_[v];
+  }
+  std::size_t num_components() const { return components_; }
+  std::vector<Edge> spanning_forest() const;  // sorted
+  bool is_tree_edge(Edge e) const;
+
+  struct Stats {
+    std::uint64_t inserts = 0;
+    std::uint64_t deletes = 0;
+    std::uint64_t tree_deletes = 0;
+    std::uint64_t replacements_found = 0;
+    std::uint64_t splits = 0;  // deletions that disconnected a component
+  };
+  const Stats& stats() const { return stats_; }
+
+  std::uint64_t memory_words() const;
+
+ private:
+  // Collects the vertices of u's tree in F via BFS (the Z_u of §4.2).
+  std::vector<VertexId> collect_tree(VertexId u) const;
+  void relabel(const std::vector<VertexId>& vertices, VertexId label);
+
+  VertexId n_;
+  VertexSketches sketches_;
+  std::vector<std::set<VertexId>> forest_adj_;
+  std::vector<VertexId> labels_;
+  std::size_t components_;
+  std::size_t forest_edges_ = 0;
+  unsigned next_bank_ = 0;
+  Stats stats_;
+};
+
+}  // namespace streammpc

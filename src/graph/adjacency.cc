@@ -1,0 +1,58 @@
+#include "graph/adjacency.h"
+
+namespace streammpc {
+
+bool AdjGraph::has_edge(VertexId u, VertexId v) const {
+  SMPC_CHECK(u < n() && v < n());
+  return adj_[u].count(v) > 0;
+}
+
+Weight AdjGraph::weight(VertexId u, VertexId v) const {
+  SMPC_CHECK(has_edge(u, v));
+  return adj_[u].at(v);
+}
+
+bool AdjGraph::insert_edge(VertexId u, VertexId v, Weight w) {
+  const Edge e = make_edge(u, v);
+  SMPC_CHECK(e.v < n());
+  if (adj_[e.u].count(e.v)) return false;
+  adj_[e.u][e.v] = w;
+  adj_[e.v][e.u] = w;
+  ++m_;
+  return true;
+}
+
+bool AdjGraph::erase_edge(VertexId u, VertexId v) {
+  const Edge e = make_edge(u, v);
+  SMPC_CHECK(e.v < n());
+  if (!adj_[e.u].count(e.v)) return false;
+  adj_[e.u].erase(e.v);
+  adj_[e.v].erase(e.u);
+  --m_;
+  return true;
+}
+
+void AdjGraph::apply(const Update& update) {
+  if (update.type == UpdateType::kInsert) {
+    SMPC_CHECK_MSG(insert_edge(update.e.u, update.e.v, update.w),
+                   "insert of existing edge");
+  } else {
+    SMPC_CHECK_MSG(erase_edge(update.e.u, update.e.v),
+                   "delete of missing edge");
+  }
+}
+
+void AdjGraph::apply(const Batch& batch) {
+  for (const Update& u : batch) apply(u);
+}
+
+std::vector<WeightedEdge> AdjGraph::edges() const {
+  std::vector<WeightedEdge> out;
+  out.reserve(m_);
+  for (VertexId u = 0; u < n(); ++u)
+    for (const auto& [v, w] : adj_[u])
+      if (u < v) out.push_back(WeightedEdge{Edge{u, v}, w});
+  return out;
+}
+
+}  // namespace streammpc

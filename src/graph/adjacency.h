@@ -1,0 +1,51 @@
+// In-memory adjacency representation used by the *reference* (ground-truth)
+// algorithms that tests and benches compare against.  The streaming MPC
+// algorithms themselves never hold such a structure — that is the point of
+// the paper — but the oracle needs one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace streammpc {
+
+class AdjGraph {
+ public:
+  explicit AdjGraph(VertexId n) : adj_(n) {}
+
+  VertexId n() const { return static_cast<VertexId>(adj_.size()); }
+  std::size_t m() const { return m_; }
+
+  bool has_edge(VertexId u, VertexId v) const;
+  Weight weight(VertexId u, VertexId v) const;
+
+  // Inserts {u, v}; returns false (and leaves the graph unchanged) if the
+  // edge already exists.
+  bool insert_edge(VertexId u, VertexId v, Weight w = 1);
+
+  // Erases {u, v}; returns false if the edge does not exist.
+  bool erase_edge(VertexId u, VertexId v);
+
+  // Applies an update; SMPC_CHECKs stream validity (inserts of absent
+  // edges, deletions of present edges), matching the paper's assumption.
+  void apply(const Update& update);
+  void apply(const Batch& batch);
+
+  // Deterministically ordered neighbor map of v.
+  const std::map<VertexId, Weight>& neighbors(VertexId v) const {
+    SMPC_CHECK(v < n());
+    return adj_[v];
+  }
+
+  // All edges, normalized and sorted.
+  std::vector<WeightedEdge> edges() const;
+
+ private:
+  std::vector<std::map<VertexId, Weight>> adj_;
+  std::size_t m_ = 0;
+};
+
+}  // namespace streammpc

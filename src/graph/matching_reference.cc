@@ -1,0 +1,239 @@
+#include "graph/matching_reference.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace streammpc {
+
+std::vector<Edge> greedy_maximal_matching(const AdjGraph& g) {
+  std::vector<char> matched(g.n(), 0);
+  std::vector<Edge> matching;
+  for (const WeightedEdge& we : g.edges()) {
+    if (!matched[we.e.u] && !matched[we.e.v]) {
+      matched[we.e.u] = 1;
+      matched[we.e.v] = 1;
+      matching.push_back(we.e);
+    }
+  }
+  return matching;
+}
+
+std::size_t hopcroft_karp(const AdjGraph& g, const std::vector<char>& side) {
+  const VertexId n = g.n();
+  SMPC_CHECK(side.size() == n);
+  for (VertexId u = 0; u < n; ++u)
+    for (const auto& [v, w] : g.neighbors(u))
+      SMPC_CHECK_MSG(side[u] != side[v], "side[] is not a proper 2-coloring");
+
+  constexpr std::uint32_t kInf = ~0u;
+  std::vector<VertexId> mate(n, kNoVertex);
+  std::vector<std::uint32_t> dist(n);
+
+  auto bfs = [&]() -> bool {
+    std::queue<VertexId> q;
+    bool found = false;
+    for (VertexId u = 0; u < n; ++u) {
+      if (side[u] == 0 && mate[u] == kNoVertex) {
+        dist[u] = 0;
+        q.push(u);
+      } else {
+        dist[u] = kInf;
+      }
+    }
+    while (!q.empty()) {
+      const VertexId u = q.front();
+      q.pop();
+      for (const auto& [v, w] : g.neighbors(u)) {
+        const VertexId next = mate[v];
+        if (next == kNoVertex) {
+          found = true;
+        } else if (dist[next] == kInf) {
+          dist[next] = dist[u] + 1;
+          q.push(next);
+        }
+      }
+    }
+    return found;
+  };
+
+  // DFS over the layered graph.
+  std::function<bool(VertexId)> try_augment = [&](VertexId u) -> bool {
+    for (const auto& [v, w] : g.neighbors(u)) {
+      const VertexId next = mate[v];
+      if (next == kNoVertex ||
+          (dist[next] == dist[u] + 1 && try_augment(next))) {
+        mate[u] = v;
+        mate[v] = u;
+        return true;
+      }
+    }
+    dist[u] = kInf;
+    return false;
+  };
+
+  std::size_t matching = 0;
+  while (bfs()) {
+    for (VertexId u = 0; u < n; ++u)
+      if (side[u] == 0 && mate[u] == kNoVertex && try_augment(u)) ++matching;
+  }
+  return matching;
+}
+
+namespace {
+
+// Edmonds blossom (e-maxx style).  Arrays over vertices; kNoVertex marks
+// "unset".
+class Blossom {
+ public:
+  explicit Blossom(const AdjGraph& g) : g_(g), n_(g.n()) {
+    mate_.assign(n_, kNoVertex);
+  }
+
+  std::size_t run() {
+    // Cheap greedy initialization speeds up the augmenting phase a lot.
+    for (VertexId u = 0; u < n_; ++u) {
+      if (mate_[u] != kNoVertex) continue;
+      for (const auto& [v, w] : g_.neighbors(u)) {
+        if (mate_[v] == kNoVertex) {
+          mate_[u] = v;
+          mate_[v] = u;
+          break;
+        }
+      }
+    }
+    std::size_t result = 0;
+    for (VertexId u = 0; u < n_; ++u)
+      if (mate_[u] != kNoVertex) ++result;
+    result /= 2;
+    for (VertexId u = 0; u < n_; ++u) {
+      if (mate_[u] == kNoVertex && augment(u)) ++result;
+    }
+    return result;
+  }
+
+ private:
+  VertexId lca(VertexId a, VertexId b) {
+    std::vector<char> used(n_, 0);
+    for (;;) {
+      a = base_[a];
+      used[a] = 1;
+      if (mate_[a] == kNoVertex) break;
+      a = parent_[mate_[a]];
+    }
+    for (;;) {
+      b = base_[b];
+      if (used[b]) return b;
+      b = parent_[mate_[b]];
+    }
+  }
+
+  void mark_path(VertexId v, VertexId b, VertexId child,
+                 std::vector<char>& blossom) {
+    while (base_[v] != b) {
+      blossom[base_[v]] = 1;
+      blossom[base_[mate_[v]]] = 1;
+      parent_[v] = child;
+      child = mate_[v];
+      v = parent_[mate_[v]];
+    }
+  }
+
+  bool augment(VertexId root) {
+    used_.assign(n_, 0);
+    parent_.assign(n_, kNoVertex);
+    base_.resize(n_);
+    for (VertexId i = 0; i < n_; ++i) base_[i] = i;
+
+    used_[root] = 1;
+    std::queue<VertexId> q;
+    q.push(root);
+    while (!q.empty()) {
+      const VertexId v = q.front();
+      q.pop();
+      for (const auto& [to, w] : g_.neighbors(v)) {
+        if (base_[v] == base_[to] || mate_[v] == to) continue;
+        if (to == root ||
+            (mate_[to] != kNoVertex && parent_[mate_[to]] != kNoVertex)) {
+          // Odd cycle: contract the blossom.
+          const VertexId b = lca(v, to);
+          std::vector<char> blossom(n_, 0);
+          mark_path(v, b, to, blossom);
+          mark_path(to, b, v, blossom);
+          for (VertexId i = 0; i < n_; ++i) {
+            if (blossom[base_[i]]) {
+              base_[i] = b;
+              if (!used_[i]) {
+                used_[i] = 1;
+                q.push(i);
+              }
+            }
+          }
+        } else if (parent_[to] == kNoVertex) {
+          parent_[to] = v;
+          if (mate_[to] == kNoVertex) {
+            // Augmenting path found: flip along it.
+            VertexId cur = to;
+            while (cur != kNoVertex) {
+              const VertexId prev = parent_[cur];
+              const VertexId next = mate_[prev];
+              mate_[cur] = prev;
+              mate_[prev] = cur;
+              cur = next;
+            }
+            return true;
+          }
+          used_[mate_[to]] = 1;
+          q.push(mate_[to]);
+        }
+      }
+    }
+    return false;
+  }
+
+  const AdjGraph& g_;
+  VertexId n_;
+  std::vector<VertexId> mate_, parent_, base_;
+  std::vector<char> used_;
+};
+
+bool two_color(const AdjGraph& g, std::vector<char>& side) {
+  const VertexId n = g.n();
+  std::vector<int> color(n, -1);
+  for (VertexId s = 0; s < n; ++s) {
+    if (color[s] != -1) continue;
+    color[s] = 0;
+    std::queue<VertexId> q;
+    q.push(s);
+    while (!q.empty()) {
+      const VertexId u = q.front();
+      q.pop();
+      for (const auto& [v, w] : g.neighbors(u)) {
+        if (color[v] == -1) {
+          color[v] = 1 - color[u];
+          q.push(v);
+        } else if (color[v] == color[u]) {
+          return false;
+        }
+      }
+    }
+  }
+  side.assign(n, 0);
+  for (VertexId v = 0; v < n; ++v) side[v] = static_cast<char>(color[v]);
+  return true;
+}
+
+}  // namespace
+
+std::size_t blossom_maximum_matching(const AdjGraph& g) {
+  return Blossom(g).run();
+}
+
+std::size_t maximum_matching_size(const AdjGraph& g) {
+  std::vector<char> side;
+  if (two_color(g, side)) return hopcroft_karp(g, side);
+  return blossom_maximum_matching(g);
+}
+
+}  // namespace streammpc

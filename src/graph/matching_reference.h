@@ -1,0 +1,31 @@
+// Reference matching algorithms used as oracles:
+//  * greedy maximal matching (a 2-approximation, fast, any size),
+//  * Hopcroft–Karp maximum matching for bipartite graphs,
+//  * Edmonds blossom maximum matching for general graphs (O(V^3); use on
+//    small instances only).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/adjacency.h"
+#include "graph/types.h"
+
+namespace streammpc {
+
+// Greedy maximal matching scanning edges in sorted order; returns the
+// matched edges.  |greedy| >= maximum/2 always.
+std::vector<Edge> greedy_maximal_matching(const AdjGraph& g);
+
+// Maximum matching in a bipartite graph.  `side[v]` in {0, 1} must be a
+// proper 2-coloring of g (checked).  Returns the matching size.
+std::size_t hopcroft_karp(const AdjGraph& g, const std::vector<char>& side);
+
+// Edmonds blossom algorithm: maximum matching size in a general graph.
+std::size_t blossom_maximum_matching(const AdjGraph& g);
+
+// Convenience: exact maximum matching size choosing Hopcroft–Karp when the
+// graph is bipartite and blossom otherwise.
+std::size_t maximum_matching_size(const AdjGraph& g);
+
+}  // namespace streammpc

@@ -1,0 +1,139 @@
+#include "graph/reference.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace streammpc {
+
+Dsu::Dsu(std::size_t n) : parent_(n), size_(n, 1), sets_(n) {
+  for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<VertexId>(i);
+}
+
+VertexId Dsu::find(VertexId x) {
+  SMPC_CHECK(x < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool Dsu::unite(VertexId a, VertexId b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) std::swap(a, b);
+  parent_[b] = a;
+  size_[a] += size_[b];
+  --sets_;
+  return true;
+}
+
+std::size_t Dsu::size_of(VertexId x) { return size_[find(x)]; }
+
+std::vector<VertexId> component_labels(const AdjGraph& g) {
+  const VertexId n = g.n();
+  std::vector<VertexId> label(n, kNoVertex);
+  for (VertexId s = 0; s < n; ++s) {
+    if (label[s] != kNoVertex) continue;
+    // BFS from s; since we scan s in increasing order, s is the minimum
+    // vertex of its component.
+    std::queue<VertexId> q;
+    q.push(s);
+    label[s] = s;
+    while (!q.empty()) {
+      const VertexId u = q.front();
+      q.pop();
+      for (const auto& [v, w] : g.neighbors(u)) {
+        if (label[v] == kNoVertex) {
+          label[v] = s;
+          q.push(v);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+std::size_t num_components(const AdjGraph& g) {
+  const auto labels = component_labels(g);
+  std::size_t count = 0;
+  for (VertexId v = 0; v < g.n(); ++v)
+    if (labels[v] == v) ++count;
+  return count;
+}
+
+std::vector<Edge> spanning_forest(const AdjGraph& g) {
+  std::vector<Edge> forest;
+  std::vector<char> seen(g.n(), 0);
+  for (VertexId s = 0; s < g.n(); ++s) {
+    if (seen[s]) continue;
+    seen[s] = 1;
+    std::queue<VertexId> q;
+    q.push(s);
+    while (!q.empty()) {
+      const VertexId u = q.front();
+      q.pop();
+      for (const auto& [v, w] : g.neighbors(u)) {
+        if (!seen[v]) {
+          seen[v] = 1;
+          forest.push_back(make_edge(u, v));
+          q.push(v);
+        }
+      }
+    }
+  }
+  std::sort(forest.begin(), forest.end());
+  return forest;
+}
+
+std::pair<Weight, std::vector<WeightedEdge>> kruskal_msf(
+    VertexId n, std::vector<WeightedEdge> edges) {
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              if (a.w != b.w) return a.w < b.w;
+              return a.e < b.e;
+            });
+  Dsu dsu(n);
+  Weight total = 0;
+  std::vector<WeightedEdge> forest;
+  for (const WeightedEdge& we : edges) {
+    if (dsu.unite(we.e.u, we.e.v)) {
+      total += we.w;
+      forest.push_back(we);
+    }
+  }
+  return {total, std::move(forest)};
+}
+
+std::pair<Weight, std::vector<WeightedEdge>> kruskal_msf(const AdjGraph& g) {
+  return kruskal_msf(g.n(), g.edges());
+}
+
+bool is_bipartite(const AdjGraph& g) {
+  const VertexId n = g.n();
+  std::vector<int> color(n, -1);
+  for (VertexId s = 0; s < n; ++s) {
+    if (color[s] != -1) continue;
+    color[s] = 0;
+    std::queue<VertexId> q;
+    q.push(s);
+    while (!q.empty()) {
+      const VertexId u = q.front();
+      q.pop();
+      for (const auto& [v, w] : g.neighbors(u)) {
+        if (color[v] == -1) {
+          color[v] = 1 - color[u];
+          q.push(v);
+        } else if (color[v] == color[u]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace streammpc

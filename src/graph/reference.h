@@ -1,0 +1,53 @@
+// Ground-truth sequential algorithms: disjoint-set union, components,
+// spanning forests, Kruskal MSF, bipartiteness.  Used as oracles in tests
+// and as the "recompute from scratch" baseline in benches.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/adjacency.h"
+#include "graph/types.h"
+
+namespace streammpc {
+
+// Union-find with path halving + union by size.
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n);
+
+  VertexId find(VertexId x);
+  // Returns true if the union merged two distinct sets.
+  bool unite(VertexId a, VertexId b);
+  bool same(VertexId a, VertexId b) { return find(a) == find(b); }
+  std::size_t num_sets() const { return sets_; }
+  std::size_t size_of(VertexId x);
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t sets_;
+};
+
+// Component labels where each label is the minimum vertex id in the
+// component (the paper's canonical component id, §4.2).
+std::vector<VertexId> component_labels(const AdjGraph& g);
+
+std::size_t num_components(const AdjGraph& g);
+
+// An arbitrary spanning forest via BFS (edges normalized, sorted).
+std::vector<Edge> spanning_forest(const AdjGraph& g);
+
+// Kruskal minimum spanning forest; deterministic tie-break on
+// (weight, u, v).  Returns total weight and the forest edges.
+std::pair<Weight, std::vector<WeightedEdge>> kruskal_msf(const AdjGraph& g);
+
+// Kruskal on an explicit edge list over `n` vertices.
+std::pair<Weight, std::vector<WeightedEdge>> kruskal_msf(
+    VertexId n, std::vector<WeightedEdge> edges);
+
+// Two-colorability via BFS.
+bool is_bipartite(const AdjGraph& g);
+
+}  // namespace streammpc

@@ -1,0 +1,136 @@
+#include "graph/streams.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace streammpc::gen {
+
+std::vector<Update> insert_stream(const std::vector<Edge>& edges, Rng& rng) {
+  std::vector<Update> stream;
+  stream.reserve(edges.size());
+  for (const Edge& e : edges) stream.push_back(Update{UpdateType::kInsert, e, 1});
+  shuffle(stream, rng);
+  return stream;
+}
+
+std::vector<Update> insert_stream(const std::vector<WeightedEdge>& edges,
+                                  Rng& rng) {
+  std::vector<Update> stream;
+  stream.reserve(edges.size());
+  for (const WeightedEdge& we : edges)
+    stream.push_back(Update{UpdateType::kInsert, we.e, we.w});
+  shuffle(stream, rng);
+  return stream;
+}
+
+std::vector<Batch> into_batches(const std::vector<Update>& stream,
+                                std::size_t batch_size) {
+  SMPC_CHECK(batch_size > 0);
+  std::vector<Batch> batches;
+  for (std::size_t i = 0; i < stream.size(); i += batch_size) {
+    const std::size_t end = std::min(stream.size(), i + batch_size);
+    batches.emplace_back(stream.begin() + static_cast<std::ptrdiff_t>(i),
+                         stream.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return batches;
+}
+
+std::vector<Batch> churn_stream(const ChurnOptions& opt, Rng& rng) {
+  SMPC_CHECK(opt.n >= 2 && opt.batch_size > 0);
+  const std::size_t cap = static_cast<std::size_t>(opt.n) * (opt.n - 1) / 2;
+
+  std::vector<Edge> live;  // live edge list for O(1) random removal
+  std::unordered_map<Edge, std::size_t, EdgeHash> live_index;
+  std::unordered_map<Edge, Weight, EdgeHash> live_weight;
+
+  auto draw_fresh = [&]() -> Edge {
+    for (;;) {
+      const VertexId a = static_cast<VertexId>(rng.below(opt.n));
+      VertexId b = static_cast<VertexId>(rng.below(opt.n - 1));
+      if (b >= a) ++b;
+      const Edge e = make_edge(a, b);
+      if (!live_index.count(e)) return e;
+    }
+  };
+
+  auto do_insert = [&](Batch& batch) {
+    SMPC_CHECK(live.size() < cap);
+    const Edge e = draw_fresh();
+    const Weight w = rng.uniform_int(opt.wmin, opt.wmax);
+    live_index[e] = live.size();
+    live.push_back(e);
+    live_weight[e] = w;
+    batch.push_back(Update{UpdateType::kInsert, e, w});
+  };
+
+  auto do_delete = [&](Batch& batch) {
+    SMPC_CHECK(!live.empty());
+    const std::size_t i = static_cast<std::size_t>(rng.below(live.size()));
+    const Edge e = live[i];
+    live[i] = live.back();
+    live_index[live[i]] = i;
+    live.pop_back();
+    live_index.erase(e);
+    const Weight w = live_weight[e];
+    live_weight.erase(e);
+    batch.push_back(Update{UpdateType::kDelete, e, w});
+  };
+
+  std::vector<Batch> batches;
+
+  // Warm-up batches: insert the initial edge set.
+  std::size_t to_insert = std::min(opt.initial_edges, cap);
+  while (to_insert > 0) {
+    Batch batch;
+    const std::size_t k = std::min(to_insert, opt.batch_size);
+    for (std::size_t i = 0; i < k; ++i) do_insert(batch);
+    to_insert -= k;
+    batches.push_back(std::move(batch));
+  }
+
+  // Churn batches.
+  for (std::size_t b = 0; b < opt.num_batches; ++b) {
+    Batch batch;
+    // Deletions sampled within a batch must be distinct and must not
+    // target an edge inserted earlier in the same batch (the model applies
+    // each batch's inserts then deletes, §1.2) — drawing from the live set
+    // as we mutate it guarantees both.
+    for (std::size_t i = 0; i < opt.batch_size; ++i) {
+      const bool want_delete = rng.uniform01() < opt.delete_fraction;
+      if (want_delete && !live.empty()) {
+        do_delete(batch);
+      } else if (live.size() < cap) {
+        do_insert(batch);
+      } else {
+        do_delete(batch);
+      }
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+std::vector<Batch> sliding_window_stream(const std::vector<Edge>& edges,
+                                         std::size_t window,
+                                         std::size_t batch_size) {
+  SMPC_CHECK(window > 0 && batch_size > 0);
+  // Validate the edge sequence has no duplicates within a window span;
+  // simplest correct guarantee: require globally distinct edges.
+  std::unordered_set<Edge, EdgeHash> seen(edges.begin(), edges.end());
+  SMPC_CHECK_MSG(seen.size() == edges.size(),
+                 "sliding_window_stream requires distinct edges");
+
+  std::vector<Update> stream;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    stream.push_back(Update{UpdateType::kInsert, edges[i], 1});
+    if (i + 1 >= window && i + 1 < edges.size()) {
+      stream.push_back(Update{UpdateType::kDelete, edges[i + 1 - window], 1});
+    }
+  }
+  return into_batches(stream, batch_size);
+}
+
+}  // namespace streammpc::gen

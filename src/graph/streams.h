@@ -1,0 +1,47 @@
+// Update-stream generators: turn static graphs into the batched
+// insert/delete streams of the paper's model (§1.2).  All streams are
+// oblivious (generated independently of the algorithms' randomness) and
+// valid: an insert never duplicates a live edge, a delete always targets a
+// live edge, the graph stays simple.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/types.h"
+
+namespace streammpc::gen {
+
+// Shuffled insertion-only stream of the given (weighted) edges.
+std::vector<Update> insert_stream(const std::vector<Edge>& edges, Rng& rng);
+std::vector<Update> insert_stream(const std::vector<WeightedEdge>& edges,
+                                  Rng& rng);
+
+// Splits a flat stream into batches of at most `batch_size` updates.
+std::vector<Batch> into_batches(const std::vector<Update>& stream,
+                                std::size_t batch_size);
+
+// Churn stream: starts from `initial` edges (inserted in the first
+// batches), then emits `num_batches` batches, each a mix of deletions of
+// live edges and insertions of fresh random edges (delete_fraction of the
+// batch are deletions when enough live edges exist).  Edge weights are
+// uniform in [wmin, wmax].
+struct ChurnOptions {
+  VertexId n = 0;
+  std::size_t initial_edges = 0;
+  std::size_t num_batches = 0;
+  std::size_t batch_size = 0;
+  double delete_fraction = 0.5;
+  Weight wmin = 1;
+  Weight wmax = 1;
+};
+std::vector<Batch> churn_stream(const ChurnOptions& options, Rng& rng);
+
+// Sliding-window stream over an edge sequence: inserts edges in order and
+// deletes each edge `window` insertions after it arrived.
+std::vector<Batch> sliding_window_stream(const std::vector<Edge>& edges,
+                                         std::size_t window,
+                                         std::size_t batch_size);
+
+}  // namespace streammpc::gen

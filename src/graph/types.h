@@ -1,0 +1,73 @@
+// Fundamental graph types shared by every module.
+//
+// The paper maintains a simple undirected graph on a fixed vertex set
+// [n] = {0, ..., n-1} evolving by batches of edge insertions/deletions
+// (§1.2).  Edges are stored normalized (u < v).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/check.h"
+
+namespace streammpc {
+
+using VertexId = std::uint32_t;
+using Weight = std::int64_t;
+
+constexpr VertexId kNoVertex = static_cast<VertexId>(-1);
+
+struct Edge {
+  VertexId u = kNoVertex;
+  VertexId v = kNoVertex;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+// Normalizes so that u < v; rejects self-loops (the maintained graph is
+// simple, §1.2).
+inline Edge make_edge(VertexId a, VertexId b) {
+  SMPC_CHECK_MSG(a != b, "self-loops are not allowed");
+  return a < b ? Edge{a, b} : Edge{b, a};
+}
+
+struct EdgeHash {
+  std::size_t operator()(const Edge& e) const {
+    std::uint64_t x = (static_cast<std::uint64_t>(e.u) << 32) | e.v;
+    // splitmix64 finalizer
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+struct WeightedEdge {
+  Edge e;
+  Weight w = 1;
+
+  friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+enum class UpdateType : std::uint8_t { kInsert, kDelete };
+
+// One stream update.  Weight is carried for the weighted problems (MSF);
+// unweighted algorithms ignore it.
+struct Update {
+  UpdateType type = UpdateType::kInsert;
+  Edge e;
+  Weight w = 1;
+};
+
+inline Update insert_of(VertexId a, VertexId b, Weight w = 1) {
+  return Update{UpdateType::kInsert, make_edge(a, b), w};
+}
+inline Update erase_of(VertexId a, VertexId b, Weight w = 1) {
+  return Update{UpdateType::kDelete, make_edge(a, b), w};
+}
+
+// One phase's batch of updates (paper: up to ~O(n^phi) of them).
+using Batch = std::vector<Update>;
+
+}  // namespace streammpc

@@ -1,0 +1,100 @@
+#include "matching/akly_sparsifier.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace streammpc {
+
+AklySparsifier::AklySparsifier(VertexId n, const AklyConfig& config)
+    : n_(n),
+      config_(config),
+      codec_(n),
+      beta_(0),
+      gamma_(0),
+      side_hash_(SplitMix64(config.seed).next()),
+      left_hash_(SplitMix64(config.seed ^ 0x11).next()),
+      right_hash_(SplitMix64(config.seed ^ 0x22).next()) {
+  SMPC_CHECK(config.alpha >= 1.0);
+  SMPC_CHECK(config.opt_guess >= 1);
+  beta_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(static_cast<double>(config.opt_guess) / config.alpha)));
+  gamma_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(static_cast<double>(config.opt_guess) /
+                       (config.alpha * config.alpha))));
+  params_ = std::make_unique<L0Params>(codec_.dimension(), config.shape,
+                                       SplitMix64(config.seed ^ 0x33).next());
+  // Pre-processing (§8.1): assign each L_i its gamma partners R_j,
+  // independently and uniformly with replacement.
+  Rng rng(SplitMix64(config.seed ^ 0x44).next());
+  for (std::uint64_t i = 0; i < beta_; ++i) {
+    for (std::uint64_t g = 0; g < gamma_; ++g) {
+      const std::uint64_t j = rng.below(beta_);
+      active_.insert(i * beta_ + j);
+    }
+  }
+}
+
+std::optional<std::uint64_t> AklySparsifier::pair_key_of(Edge e) const {
+  const bool u_left = side_hash_.bucket(e.u, 2) == 0;
+  const bool v_left = side_hash_.bucket(e.v, 2) == 0;
+  if (u_left == v_left) return std::nullopt;  // same side: dropped
+  const VertexId l = u_left ? e.u : e.v;
+  const VertexId r = u_left ? e.v : e.u;
+  const std::uint64_t i = left_hash_.bucket(l, beta_);
+  const std::uint64_t j = right_hash_.bucket(r, beta_);
+  const std::uint64_t key = i * beta_ + j;
+  if (!active_.count(key)) return std::nullopt;
+  return key;
+}
+
+AklySparsifier::HDelta AklySparsifier::apply_batch(const Batch& batch) {
+  // Touched samplers: record old outputs, apply sketch updates, recompute.
+  std::unordered_map<std::uint64_t, std::optional<Edge>> old_out;
+  for (const Update& u : batch) {
+    const auto key = pair_key_of(u.e);
+    if (!key) continue;
+    if (!old_out.count(*key)) {
+      const auto it = current_out_.find(*key);
+      old_out[*key] = it == current_out_.end()
+                          ? std::nullopt
+                          : std::optional<Edge>(it->second);
+    }
+    const std::int64_t delta = u.type == UpdateType::kInsert ? 1 : -1;
+    samplers_[*key].update(*params_, codec_.encode(u.e), delta);
+  }
+
+  HDelta delta;
+  for (const auto& [key, old_edge] : old_out) {
+    const auto sampled = samplers_[key].sample(*params_);
+    std::optional<Edge> new_edge;
+    if (sampled) new_edge = codec_.decode(sampled->coord);
+    if (old_edge == new_edge) continue;
+    if (old_edge) delta.remove.push_back(*old_edge);
+    if (new_edge) {
+      delta.add.push_back(*new_edge);
+      current_out_[key] = *new_edge;
+    } else {
+      current_out_.erase(key);
+    }
+  }
+  return delta;
+}
+
+std::vector<Edge> AklySparsifier::current_h() const {
+  std::vector<Edge> out;
+  out.reserve(current_out_.size());
+  for (const auto& [key, e] : current_out_) out.push_back(e);
+  return out;
+}
+
+std::uint64_t AklySparsifier::memory_words() const {
+  std::uint64_t total = active_.size() + 2 * current_out_.size();
+  for (const auto& [key, s] : samplers_) total += s.words() + 1;
+  return total;
+}
+
+}  // namespace streammpc

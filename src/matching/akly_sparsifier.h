@@ -1,0 +1,83 @@
+// The AKLY16 dynamic-stream matching sparsifier (paper §8.1, one OPT'
+// guess).
+//
+//  * A pairwise-independent side hash splits V into L and R (the matching
+//    restricted to L-R edges is a constant-factor loss, §8.1).
+//  * h_L : L -> [beta], h_R : R -> [beta] with beta = ceil(OPT'/alpha)
+//    partition each side into beta groups.
+//  * Every group L_i is assigned gamma = ceil(OPT'/alpha^2) groups R_j
+//    uniformly with replacement; each such (L_i, R_j) is an *active pair*
+//    and carries one L0-sampler over its edge set E(L_i, R_j) (Lemma 3.6).
+//  * The sparsified graph H is the set of current sampler outputs; any
+//    maximal matching of H is an O(alpha)-approximation (Lemma 8.3).
+//
+// A batch of graph updates touches at most |batch| samplers; the sparsifier
+// reports which H-edges disappear (old outputs of touched samplers) and
+// which appear (new outputs), exactly the delta the paper feeds to the
+// NO21 maximal-matching black box.
+//
+// Memory: beta * gamma = OPT'^2 / alpha^3 samplers of O(log^3 n) bits each
+// — the ~O(max{n^2/alpha^3, n/alpha}) of Theorem 8.2 at OPT' = n.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hashing.h"
+#include "graph/types.h"
+#include "sketch/coord.h"
+#include "sketch/l0sampler.h"
+
+namespace streammpc {
+
+struct AklyConfig {
+  double alpha = 4.0;
+  std::uint64_t opt_guess = 0;  // OPT' (required, >= 1)
+  L0Shape shape{2, 8};
+  std::uint64_t seed = 0xa1b2;
+};
+
+class AklySparsifier {
+ public:
+  AklySparsifier(VertexId n, const AklyConfig& config);
+
+  // Edges leaving / entering the sparsified graph H due to this batch.
+  struct HDelta {
+    std::vector<Edge> remove;
+    std::vector<Edge> add;
+  };
+  HDelta apply_batch(const Batch& batch);
+
+  std::uint64_t beta() const { return beta_; }
+  std::uint64_t gamma() const { return gamma_; }
+  std::uint64_t active_pair_count() const { return active_.size(); }
+
+  // Current sparsified edge set (for tests).
+  std::vector<Edge> current_h() const;
+
+  std::uint64_t memory_words() const;
+
+ private:
+  // Maps an edge to its active-pair key, or nullopt if the edge is not
+  // monitored (same side, or inactive pair).
+  std::optional<std::uint64_t> pair_key_of(Edge e) const;
+
+  VertexId n_;
+  AklyConfig config_;
+  EdgeCoordCodec codec_;
+  std::uint64_t beta_;
+  std::uint64_t gamma_;
+  PairwiseHash side_hash_;
+  PairwiseHash left_hash_;
+  PairwiseHash right_hash_;
+  std::unique_ptr<L0Params> params_;
+  std::unordered_set<std::uint64_t> active_;
+  std::unordered_map<std::uint64_t, L0Sampler> samplers_;
+  std::unordered_map<std::uint64_t, Edge> current_out_;
+};
+
+}  // namespace streammpc

@@ -1,0 +1,110 @@
+#include "matching/batch_maximal_matching.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streammpc {
+
+BatchMaximalMatching::BatchMaximalMatching(double kappa, mpc::Cluster* cluster)
+    : cluster_(cluster) {
+  SMPC_CHECK(kappa > 0.0 && kappa <= 1.0);
+  rounds_per_batch_ =
+      1 + static_cast<std::uint64_t>(std::ceil(std::log2(1.0 / kappa)));
+}
+
+bool BatchMaximalMatching::has_edge(Edge e) const {
+  const auto it = adj_.find(e.u);
+  return it != adj_.end() && it->second.count(e.v) > 0;
+}
+
+void BatchMaximalMatching::add_edge(Edge e) {
+  if (has_edge(e)) return;
+  adj_[e.u].insert(e.v);
+  adj_[e.v].insert(e.u);
+  ++m_;
+}
+
+void BatchMaximalMatching::remove_edge(Edge e) {
+  if (!has_edge(e)) return;
+  auto drop = [this](VertexId a, VertexId b) {
+    auto it = adj_.find(a);
+    it->second.erase(b);
+    if (it->second.empty()) adj_.erase(it);
+  };
+  drop(e.u, e.v);
+  drop(e.v, e.u);
+  --m_;
+  const auto mu = mate_.find(e.u);
+  if (mu != mate_.end() && mu->second == e.v) {
+    mate_.erase(e.u);
+    mate_.erase(e.v);
+    --matching_size_;
+  }
+}
+
+void BatchMaximalMatching::try_match(VertexId v) {
+  if (mate_.count(v)) return;
+  const auto it = adj_.find(v);
+  if (it == adj_.end()) return;
+  for (const VertexId u : it->second) {
+    if (!mate_.count(u)) {
+      mate_[v] = u;
+      mate_[u] = v;
+      ++matching_size_;
+      return;
+    }
+  }
+}
+
+void BatchMaximalMatching::apply(const std::vector<Edge>& remove,
+                                 const std::vector<Edge>& add) {
+  if (cluster_ != nullptr) {
+    cluster_->add_rounds(rounds_per_batch_, "matching/maximal-batch");
+    cluster_->charge_comm(remove.size() + add.size());
+  }
+  std::vector<VertexId> freed;
+  for (const Edge& e : remove) {
+    const bool was_matched_pair =
+        mate_.count(e.u) && mate_.at(e.u) == e.v;
+    remove_edge(e);
+    if (was_matched_pair) {
+      freed.push_back(e.u);
+      freed.push_back(e.v);
+    }
+  }
+  for (const Edge& e : add) {
+    add_edge(e);
+    // Greedy: match immediately if both free (preserves maximality).
+    if (!mate_.count(e.u) && !mate_.count(e.v)) {
+      mate_[e.u] = e.v;
+      mate_[e.v] = e.u;
+      ++matching_size_;
+    }
+  }
+  // Re-saturate vertices freed by removals.
+  for (const VertexId v : freed) try_match(v);
+  // Freed vertices' rematching can itself never free others, and all new
+  // edges were considered, so the matching is maximal again.
+}
+
+std::vector<Edge> BatchMaximalMatching::matching() const {
+  std::vector<Edge> out;
+  out.reserve(matching_size_);
+  for (const auto& [v, u] : mate_) {
+    if (v < u) out.push_back(Edge{v, u});
+  }
+  return out;
+}
+
+bool BatchMaximalMatching::is_maximal() const {
+  for (const auto& [v, nbrs] : adj_) {
+    if (mate_.count(v)) continue;
+    for (const VertexId u : nbrs) {
+      if (!mate_.count(u)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace streammpc

@@ -1,0 +1,57 @@
+// Batch-dynamic maximal matching on an explicitly stored (sparse) graph —
+// our stand-in for the Nowicki–Onak black box (Proposition 8.4; DESIGN.md
+// §3(2)).  The paper runs NO21 on the *sparsified* graph H produced by the
+// AKLY sparsifier, using total memory ~O(|E(H)|) and O(log 1/kappa) rounds
+// per batch of O(s^{1-kappa}) updates; this class maintains the same
+// invariant (the matching is maximal on H after every batch) with the same
+// memory and charges the same round bill.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/types.h"
+#include "mpc/cluster.h"
+
+namespace streammpc {
+
+class BatchMaximalMatching {
+ public:
+  explicit BatchMaximalMatching(double kappa = 0.5,
+                                mpc::Cluster* cluster = nullptr);
+
+  // Applies one batch: removals first, then additions (edges are of the
+  // stored graph H).  Removals of absent edges and duplicate additions are
+  // ignored (sampler outputs can race in benign ways).
+  void apply(const std::vector<Edge>& remove, const std::vector<Edge>& add);
+
+  std::size_t size() const { return matching_size_; }
+  std::vector<Edge> matching() const;
+  bool is_matched(VertexId v) const { return mate_.count(v) > 0; }
+  std::size_t edge_count() const { return m_; }
+  bool has_edge(Edge e) const;
+
+  // Maximality check (O(|E(H)|); used by tests).
+  bool is_maximal() const;
+
+  std::uint64_t memory_words() const { return 2 * m_ + 2 * mate_.size(); }
+
+  // Rounds charged per batch: ceil(log2(1/kappa)) + 1 (Proposition 8.4).
+  std::uint64_t rounds_per_batch() const { return rounds_per_batch_; }
+
+ private:
+  void add_edge(Edge e);
+  void remove_edge(Edge e);
+  void try_match(VertexId v);
+
+  mpc::Cluster* cluster_;
+  std::uint64_t rounds_per_batch_;
+  std::unordered_map<VertexId, std::unordered_set<VertexId>> adj_;
+  std::unordered_map<VertexId, VertexId> mate_;
+  std::size_t matching_size_ = 0;
+  std::size_t m_ = 0;
+};
+
+}  // namespace streammpc

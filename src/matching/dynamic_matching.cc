@@ -1,0 +1,69 @@
+#include "matching/dynamic_matching.h"
+
+#include "common/check.h"
+#include "common/random.h"
+#include "mpc/primitives.h"
+
+namespace streammpc {
+
+DynamicApproxMatching::DynamicApproxMatching(
+    VertexId n, const DynamicMatchingConfig& config, mpc::Cluster* cluster)
+    : n_(n), config_(config), cluster_(cluster) {
+  SMPC_CHECK(n >= 2);
+  SplitMix64 sm(config.seed);
+  for (std::uint64_t guess = n; guess >= 1; guess /= 2) {
+    Instance inst;
+    inst.opt_guess = guess;
+    AklyConfig ac;
+    ac.alpha = config.alpha;
+    ac.opt_guess = guess;
+    ac.shape = config.shape;
+    ac.seed = sm.next();
+    inst.sparsifier = std::make_unique<AklySparsifier>(n, ac);
+    // The Theta(log n) guesses run in parallel on the MPC: a phase costs
+    // the max of the instances' round bills, so only the largest guess
+    // (the first, with the dominating sparsifier) carries the cluster.
+    inst.maximal = std::make_unique<BatchMaximalMatching>(
+        config.kappa, guesses_.empty() ? cluster : nullptr);
+    guesses_.push_back(std::move(inst));
+    if (guess == 1) break;
+  }
+}
+
+void DynamicApproxMatching::apply_batch(const Batch& batch) {
+  if (cluster_ != nullptr) cluster_->begin_phase();
+  mpc::sort(cluster_, batch.size(), "matching/preprocess");
+  mpc::broadcast(cluster_, batch.size(), "matching/sketch-update");
+  for (auto& inst : guesses_) {
+    auto delta = inst.sparsifier->apply_batch(batch);
+    inst.maximal->apply(delta.remove, delta.add);
+  }
+  if (cluster_ != nullptr)
+    cluster_->set_usage("matching/dynamic", memory_words());
+}
+
+std::vector<Edge> DynamicApproxMatching::matching() const {
+  const Instance* best = nullptr;
+  for (const auto& inst : guesses_) {
+    if (best == nullptr || inst.maximal->size() > best->maximal->size())
+      best = &inst;
+  }
+  return best == nullptr ? std::vector<Edge>{} : best->maximal->matching();
+}
+
+std::size_t DynamicApproxMatching::matching_size() const {
+  std::size_t best = 0;
+  for (const auto& inst : guesses_)
+    best = std::max(best, inst.maximal->size());
+  return best;
+}
+
+std::uint64_t DynamicApproxMatching::memory_words() const {
+  std::uint64_t total = 0;
+  for (const auto& inst : guesses_) {
+    total += inst.sparsifier->memory_words() + inst.maximal->memory_words();
+  }
+  return total;
+}
+
+}  // namespace streammpc

@@ -1,0 +1,63 @@
+// O(alpha)-approximate maximum matching for fully dynamic streams
+// (Theorem 8.2 / Corollary 1.5, §8.1).
+//
+// Theta(log n) parallel guesses OPT' = n, n/2, n/4, ..., 1; each guess
+// runs an AKLY sparsifier whose output graph H feeds a batch-dynamic
+// maximal-matching maintainer (the NO21 black box of Proposition 8.4,
+// DESIGN.md §3(2)).  A graph batch of O(s^{1-kappa}) updates becomes an
+// H-delta per instance, processed in O(log 1/kappa) rounds; the reported
+// matching is the best across instances, an O(alpha) approximation w.h.p.
+// (Lemma 8.3).
+//
+// Total memory is dominated by the largest guess:
+// ~O(max{n^2/alpha^3, n/alpha}).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "matching/akly_sparsifier.h"
+#include "matching/batch_maximal_matching.h"
+#include "mpc/cluster.h"
+
+namespace streammpc {
+
+struct DynamicMatchingConfig {
+  double alpha = 4.0;
+  double kappa = 0.5;  // batch-size exponent slack; rounds = O(log 1/kappa)
+  L0Shape shape{2, 8};
+  std::uint64_t seed = 0xd1a2;
+};
+
+class DynamicApproxMatching {
+ public:
+  DynamicApproxMatching(VertexId n, const DynamicMatchingConfig& config,
+                        mpc::Cluster* cluster = nullptr);
+
+  VertexId n() const { return n_; }
+  std::size_t instances() const { return guesses_.size(); }
+
+  void apply_batch(const Batch& batch);
+
+  // The best matching across all OPT' guesses.
+  std::vector<Edge> matching() const;
+  std::size_t matching_size() const;
+
+  std::uint64_t memory_words() const;
+
+  struct Instance {
+    std::uint64_t opt_guess = 0;
+    std::unique_ptr<AklySparsifier> sparsifier;
+    std::unique_ptr<BatchMaximalMatching> maximal;
+  };
+  const std::vector<Instance>& guesses() const { return guesses_; }
+
+ private:
+  VertexId n_;
+  DynamicMatchingConfig config_;
+  mpc::Cluster* cluster_;
+  std::vector<Instance> guesses_;
+};
+
+}  // namespace streammpc

@@ -1,0 +1,48 @@
+#include "matching/greedy_insertion_matching.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "mpc/primitives.h"
+
+namespace streammpc {
+
+GreedyInsertionMatching::GreedyInsertionMatching(VertexId n, double alpha,
+                                                 mpc::Cluster* cluster,
+                                                 double c)
+    : n_(n), cluster_(cluster) {
+  SMPC_CHECK(alpha >= 1.0 && c > 0.0);
+  cap_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(c * static_cast<double>(n) /
+                                            alpha)));
+}
+
+void GreedyInsertionMatching::apply_batch(const Batch& batch) {
+  std::vector<Edge> edges;
+  edges.reserve(batch.size());
+  for (const Update& u : batch) {
+    SMPC_CHECK_MSG(u.type == UpdateType::kInsert,
+                   "GreedyInsertionMatching supports insertion-only streams");
+    edges.push_back(u.e);
+  }
+  apply_insert_batch(edges);
+}
+
+void GreedyInsertionMatching::apply_insert_batch(
+    const std::vector<Edge>& batch) {
+  if (cluster_ != nullptr) cluster_->begin_phase();
+  mpc::broadcast(cluster_, batch.size(), "matching/greedy-batch");
+  if (saturated()) return;  // stored matching is already large enough
+  for (const Edge& e : batch) {
+    if (matching_.size() >= cap_) break;
+    if (mate_.count(e.u) || mate_.count(e.v)) continue;
+    mate_[e.u] = e.v;
+    mate_[e.v] = e.u;
+    matching_.push_back(e);
+  }
+  if (cluster_ != nullptr)
+    cluster_->set_usage("matching/greedy", memory_words());
+}
+
+}  // namespace streammpc

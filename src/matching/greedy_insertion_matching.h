@@ -1,0 +1,53 @@
+// O(alpha)-approximate maximum matching for insertion-only streams
+// (Theorem 8.1 / Corollary 1.4).
+//
+// The folklore algorithm: greedily grow a matching M, stopping once
+// |M| >= cap = c*n/alpha.  If the stream ends with |M| < cap, M is a
+// maximal matching (2-approximation); otherwise |M| = cap while the
+// optimum is at most n/2, so the ratio is at most alpha/(2c).  With the
+// default c = 1/2 the output is always an O(alpha) approximation using
+// O(n/alpha) words.
+//
+// A batch of O(s) insertions is processed in O(1) rounds: broadcast the
+// batch, machines report which endpoints are already matched, the residual
+// edges are matched greedily on one machine.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+#include "mpc/cluster.h"
+
+namespace streammpc {
+
+class GreedyInsertionMatching {
+ public:
+  GreedyInsertionMatching(VertexId n, double alpha,
+                          mpc::Cluster* cluster = nullptr, double c = 0.5);
+
+  VertexId n() const { return n_; }
+  std::size_t cap() const { return cap_; }
+
+  void apply_insert_batch(const std::vector<Edge>& batch);
+  void apply_batch(const Batch& batch);  // checks insert-only
+
+  std::size_t size() const { return matching_.size(); }
+  const std::vector<Edge>& matching() const { return matching_; }
+  bool saturated() const { return matching_.size() >= cap_; }
+
+  // O(n/alpha): the stored matching plus the mate index.
+  std::uint64_t memory_words() const {
+    return 2 * matching_.size() + 2 * mate_.size();
+  }
+
+ private:
+  VertexId n_;
+  std::size_t cap_;
+  mpc::Cluster* cluster_;
+  std::vector<Edge> matching_;
+  std::unordered_map<VertexId, VertexId> mate_;
+};
+
+}  // namespace streammpc

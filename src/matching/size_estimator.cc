@@ -1,0 +1,221 @@
+#include "matching/size_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "mpc/primitives.h"
+
+namespace streammpc {
+
+namespace {
+
+struct GuessParams {
+  std::uint64_t guess;
+  double p;
+  std::size_t threshold;
+};
+
+// Shared guess schedule: g = 1, 2, 4, ..., >= n; budget K = c*n/alpha^2.
+std::vector<GuessParams> guess_schedule(VertexId n,
+                                        const SizeEstimatorConfig& config) {
+  const double K = std::max(
+      1.0, config.budget_constant * static_cast<double>(n) /
+               (config.alpha * config.alpha));
+  std::vector<GuessParams> out;
+  for (std::uint64_t g = 1;; g *= 2) {
+    const double p = std::min(1.0, std::sqrt(K / static_cast<double>(g)));
+    const std::size_t threshold = std::max<std::size_t>(
+        1, static_cast<std::size_t>(p * p * static_cast<double>(g) / 4.0));
+    out.push_back(GuessParams{g, p, threshold});
+    if (g >= n) break;
+  }
+  return out;
+}
+
+// Four-wise-hash Bernoulli(p) vertex sample; resolution 2^20.
+bool hash_coin(const FourWiseHash& h, VertexId v, double p) {
+  if (p >= 1.0) return true;
+  constexpr std::uint64_t kRes = 1ULL << 20;
+  return h.bucket(v, kRes) <
+         static_cast<std::uint64_t>(p * static_cast<double>(kRes));
+}
+
+}  // namespace
+
+// ---------------- InsertionOnlySizeEstimator ---------------------------------
+
+InsertionOnlySizeEstimator::InsertionOnlySizeEstimator(
+    VertexId n, const SizeEstimatorConfig& config, mpc::Cluster* cluster)
+    : n_(n), config_(config), cluster_(cluster) {
+  SMPC_CHECK(config.alpha >= 1.0);
+  SplitMix64 sm(config.seed);
+  for (const GuessParams& gp : guess_schedule(n, config)) {
+    testers_.emplace_back(gp.guess, gp.p, gp.threshold, sm.next());
+  }
+}
+
+bool InsertionOnlySizeEstimator::sampled(const Tester& t, VertexId v) const {
+  return hash_coin(t.vertex_sample, v, t.p);
+}
+
+void InsertionOnlySizeEstimator::apply_batch(const Batch& batch) {
+  std::vector<Edge> edges;
+  edges.reserve(batch.size());
+  for (const Update& u : batch) {
+    SMPC_CHECK_MSG(u.type == UpdateType::kInsert,
+                   "InsertionOnlySizeEstimator is insertion-only");
+    edges.push_back(u.e);
+  }
+  apply_insert_batch(edges);
+}
+
+void InsertionOnlySizeEstimator::apply_insert_batch(
+    const std::vector<Edge>& batch) {
+  if (cluster_ != nullptr) cluster_->begin_phase();
+  mpc::broadcast(cluster_, batch.size(), "estimator/batch");
+  for (Tester& t : testers_) {
+    if (t.fired()) continue;  // tester already at capacity
+    for (const Edge& e : batch) {
+      if (t.size >= t.threshold) break;
+      if (!sampled(t, e.u) || !sampled(t, e.v)) continue;
+      if (t.mate.count(e.u) || t.mate.count(e.v)) continue;
+      t.mate[e.u] = e.v;
+      t.mate[e.v] = e.u;
+      ++t.size;
+    }
+  }
+  if (cluster_ != nullptr)
+    cluster_->set_usage("estimator/insert-only", memory_words());
+}
+
+double InsertionOnlySizeEstimator::estimate() const {
+  double best = 0.0;
+  for (const Tester& t : testers_) {
+    if (t.fired()) best = std::max(best, static_cast<double>(t.guess));
+  }
+  return best;
+}
+
+std::uint64_t InsertionOnlySizeEstimator::memory_words() const {
+  std::uint64_t total = 0;
+  for (const Tester& t : testers_) total += 2 * t.mate.size() + 8;
+  return total;
+}
+
+// ---------------- DynamicSizeEstimator ----------------------------------------
+
+DynamicSizeEstimator::DynamicSizeEstimator(VertexId n,
+                                           const SizeEstimatorConfig& config,
+                                           mpc::Cluster* cluster)
+    : n_(n), config_(config), cluster_(cluster), codec_(n) {
+  SMPC_CHECK(config.alpha >= 1.0);
+  SplitMix64 sm(config.seed);
+  params_ = std::make_unique<L0Params>(codec_.dimension(), config.shape,
+                                       sm.next());
+  for (const GuessParams& gp : guess_schedule(n, config)) {
+    // Theta(k_g) groups; 4x the tester threshold keeps hash collisions
+    // rare relative to the matching size the tester must certify.
+    const std::size_t k = std::max<std::size_t>(2, 4 * gp.threshold);
+    const std::size_t threshold = std::max<std::size_t>(1, gp.threshold / 2);
+    Tester t(gp.guess, gp.p, k, threshold, sm.next(), sm.next());
+    const std::size_t pairs = t.k * (t.k + 1) / 2;
+    t.samplers = std::make_unique<L0Sampler[]>(pairs);
+    // Parallel testers: rounds are a max across instances, so only the
+    // first tester carries the cluster for round accounting.
+    t.maximal = std::make_unique<BatchMaximalMatching>(
+        config.kappa, testers_.empty() ? cluster : nullptr);
+    testers_.push_back(std::move(t));
+  }
+}
+
+bool DynamicSizeEstimator::sampled(const Tester& t, VertexId v) const {
+  return hash_coin(t.vertex_sample, v, t.p);
+}
+
+std::size_t DynamicSizeEstimator::pair_index(const Tester& t, std::uint64_t gi,
+                                             std::uint64_t gj) const {
+  const std::uint64_t a = std::min(gi, gj);
+  const std::uint64_t b = std::max(gi, gj);
+  // Upper-triangle (including diagonal) index over k groups.
+  return static_cast<std::size_t>(a * t.k - a * (a + 1) / 2 + b);
+}
+
+void DynamicSizeEstimator::apply_batch(const Batch& batch) {
+  if (cluster_ != nullptr) cluster_->begin_phase();
+  mpc::sort(cluster_, batch.size(), "estimator/preprocess");
+  mpc::broadcast(cluster_, batch.size(), "estimator/batch");
+  for (Tester& t : testers_) {
+    // Touched samplers: old output, sketch update, new output -> H delta.
+    std::unordered_map<std::uint64_t, std::optional<Edge>> old_out;
+    for (const Update& u : batch) {
+      if (!sampled(t, u.e.u) || !sampled(t, u.e.v)) continue;
+      const std::uint64_t gi = t.group_hash.bucket(u.e.u, t.k);
+      const std::uint64_t gj = t.group_hash.bucket(u.e.v, t.k);
+      const std::uint64_t key = pair_index(t, gi, gj);
+      if (!old_out.count(key)) {
+        const auto it = t.current_out.find(key);
+        old_out[key] = it == t.current_out.end()
+                           ? std::nullopt
+                           : std::optional<Edge>(it->second);
+      }
+      const std::int64_t delta = u.type == UpdateType::kInsert ? 1 : -1;
+      t.samplers[key].update(*params_, codec_.encode(u.e), delta);
+    }
+    std::vector<Edge> remove, add;
+    for (const auto& [key, old_edge] : old_out) {
+      const auto sampled_coord = t.samplers[key].sample(*params_);
+      std::optional<Edge> new_edge;
+      if (sampled_coord) new_edge = codec_.decode(sampled_coord->coord);
+      if (old_edge == new_edge) continue;
+      if (old_edge) remove.push_back(*old_edge);
+      if (new_edge) {
+        add.push_back(*new_edge);
+        t.current_out[key] = *new_edge;
+      } else {
+        t.current_out.erase(key);
+      }
+    }
+    t.maximal->apply(remove, add);
+  }
+  if (cluster_ != nullptr)
+    cluster_->set_usage("estimator/dynamic", memory_words());
+}
+
+double DynamicSizeEstimator::estimate() const {
+  double best = 0.0;
+  for (const Tester& t : testers_) {
+    if (t.maximal->size() >= t.threshold)
+      best = std::max(best, static_cast<double>(t.guess));
+  }
+  return best;
+}
+
+std::uint64_t DynamicSizeEstimator::pair_budget() const {
+  std::uint64_t total = 0;
+  for (const Tester& t : testers_) total += t.k * (t.k + 1) / 2;
+  return total;
+}
+
+std::uint64_t DynamicSizeEstimator::samplers_touched() const {
+  std::uint64_t total = 0;
+  for (const Tester& t : testers_) {
+    const std::size_t pairs = t.k * (t.k + 1) / 2;
+    for (std::size_t i = 0; i < pairs; ++i)
+      if (t.samplers[i].allocated()) ++total;
+  }
+  return total;
+}
+
+std::uint64_t DynamicSizeEstimator::memory_words() const {
+  std::uint64_t total = 0;
+  for (const Tester& t : testers_) {
+    const std::size_t pairs = t.k * (t.k + 1) / 2;
+    for (std::size_t i = 0; i < pairs; ++i) total += t.samplers[i].words();
+    total += 2 * t.current_out.size() + t.maximal->memory_words() + 8;
+  }
+  return total;
+}
+
+}  // namespace streammpc

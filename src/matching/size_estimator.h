@@ -1,0 +1,128 @@
+// O(alpha)-approximate *size* estimation of the maximum matching
+// (Theorems 8.5 / 8.6, §8.2), following the AKL Tester(G, k)
+// meta-algorithm: O(log n) parallel guesses g = 2^i; the instance for
+// guess g observes the subgraph induced by a four-wise-hash vertex sample
+// of rate p_g and tests whether its matching reaches a threshold k_g; the
+// estimate is the largest fired guess.
+//
+// Parameter instantiation (exact AKL17 constants are not in the reproduced
+// paper; see DESIGN.md §3(3)): with budget K = ceil(c_budget * n / alpha^2),
+//   p_g = min(1, sqrt(K / g)),     k_g = max(1, p_g^2 * g / 4),
+// so k_g <= K always — per-instance space ~O(n/alpha^2) (insertion-only
+// greedy matching capped at k_g) resp. ~O(n^2/alpha^4) (dynamic: Theta(k_g)
+// vertex groups, one L0-sampler per group pair, maximal matching on the
+// sampler outputs).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hashing.h"
+#include "graph/types.h"
+#include "matching/batch_maximal_matching.h"
+#include "mpc/cluster.h"
+#include "sketch/coord.h"
+#include "sketch/l0sampler.h"
+
+namespace streammpc {
+
+struct SizeEstimatorConfig {
+  double alpha = 4.0;
+  double budget_constant = 4.0;  // c_budget in K = c * n / alpha^2
+  double kappa = 0.5;            // dynamic variant round parameter
+  L0Shape shape{2, 8};
+  std::uint64_t seed = 0xe571;
+};
+
+// ---- Theorem 8.5: insertion-only, ~O(n/alpha^2) ------------------------------
+class InsertionOnlySizeEstimator {
+ public:
+  InsertionOnlySizeEstimator(VertexId n, const SizeEstimatorConfig& config,
+                             mpc::Cluster* cluster = nullptr);
+
+  void apply_insert_batch(const std::vector<Edge>& batch);
+  void apply_batch(const Batch& batch);  // checks insert-only
+
+  // Largest fired guess (0 on the empty graph).
+  double estimate() const;
+
+  std::uint64_t memory_words() const;
+  std::size_t instances() const { return testers_.size(); }
+
+ private:
+  struct Tester {
+    std::uint64_t guess = 0;
+    double p = 1.0;
+    std::size_t threshold = 1;  // k_g
+    FourWiseHash vertex_sample;
+    std::unordered_map<VertexId, VertexId> mate;  // capped greedy matching
+    std::size_t size = 0;
+    bool fired() const { return size >= threshold; }
+    Tester(std::uint64_t g, double pp, std::size_t th, std::uint64_t seed)
+        : guess(g), p(pp), threshold(th), vertex_sample(seed) {}
+  };
+
+  bool sampled(const Tester& t, VertexId v) const;
+
+  VertexId n_;
+  SizeEstimatorConfig config_;
+  mpc::Cluster* cluster_;
+  std::vector<Tester> testers_;
+};
+
+// ---- Theorem 8.6: dynamic streams, ~O(n^2/alpha^4) -----------------------------
+class DynamicSizeEstimator {
+ public:
+  DynamicSizeEstimator(VertexId n, const SizeEstimatorConfig& config,
+                       mpc::Cluster* cluster = nullptr);
+
+  void apply_batch(const Batch& batch);
+
+  double estimate() const;
+
+  std::uint64_t memory_words() const;
+  std::size_t instances() const { return testers_.size(); }
+  // Sum over testers of the Theta(k_g^2) group-pair sampler budget — the
+  // quantity Theorem 8.6 bounds by ~O(n^2/alpha^4).
+  std::uint64_t pair_budget() const;
+  // Samplers that have actually received an update (lazy allocation).
+  std::uint64_t samplers_touched() const;
+
+ private:
+  struct Tester {
+    std::uint64_t guess;
+    double p;
+    std::size_t k;          // number of vertex groups = Theta(k_g)
+    std::size_t threshold;  // fire when |MM(H)| >= threshold
+    FourWiseHash vertex_sample;
+    PairwiseHash group_hash;
+    std::unique_ptr<L0Sampler[]> samplers;  // k*(k+1)/2 group-pair samplers
+    std::unordered_map<std::uint64_t, Edge> current_out;
+    std::unique_ptr<BatchMaximalMatching> maximal;
+
+    Tester(std::uint64_t g, double pp, std::size_t kk, std::size_t th,
+           std::uint64_t sample_seed, std::uint64_t group_seed)
+        : guess(g),
+          p(pp),
+          k(kk),
+          threshold(th),
+          vertex_sample(sample_seed),
+          group_hash(group_seed) {}
+  };
+
+  bool sampled(const Tester& t, VertexId v) const;
+  std::size_t pair_index(const Tester& t, std::uint64_t gi,
+                         std::uint64_t gj) const;
+
+  VertexId n_;
+  SizeEstimatorConfig config_;
+  mpc::Cluster* cluster_;
+  EdgeCoordCodec codec_;
+  std::unique_ptr<L0Params> params_;
+  std::vector<Tester> testers_;
+};
+
+}  // namespace streammpc

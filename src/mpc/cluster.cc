@@ -1,0 +1,155 @@
+#include "mpc/cluster.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace streammpc::mpc {
+
+namespace {
+
+std::uint64_t ceil_log_base(std::uint64_t x, std::uint64_t base) {
+  if (x <= 1) return 0;
+  SMPC_CHECK(base >= 2);
+  std::uint64_t r = 0;
+  // Iterative to avoid floating-point edge cases.
+  __uint128_t acc = 1;
+  while (acc < x) {
+    acc *= base;
+    ++r;
+  }
+  return r;
+}
+
+std::uint64_t cube_log2(std::uint64_t n) {
+  std::uint64_t lg = 1;
+  while ((1ULL << lg) < n) ++lg;
+  return lg * lg * lg;
+}
+
+}  // namespace
+
+Cluster::Cluster(const MpcConfig& config) : config_(config) {
+  SMPC_CHECK(config.n >= 2);
+  SMPC_CHECK(config.phi > 0.0 && config.phi < 1.0);
+
+  if (config.local_memory_words != 0) {
+    local_capacity_ = config.local_memory_words;
+  } else {
+    const double s = std::pow(static_cast<double>(config.n), config.phi);
+    local_capacity_ = static_cast<std::uint64_t>(std::ceil(s)) *
+                      cube_log2(config.n) *
+                      std::max<std::uint64_t>(1, config.local_slack);
+  }
+  if (local_capacity_ < 16) local_capacity_ = 16;
+
+  const double sr = std::pow(static_cast<double>(config.n), config.phi);
+  record_capacity_ =
+      std::max<std::uint64_t>(2, static_cast<std::uint64_t>(std::ceil(sr)));
+
+  std::uint64_t budget = config.total_memory_budget;
+  if (budget == 0) {
+    // ~O(n): n * log^3 n words (with the same constant slack), the regime
+    // of Theorems 1.1-1.2 / 6.7.  The derived machine count is then
+    // ~n^{1-phi}, matching §1.2.
+    budget = config.n * cube_log2(config.n) *
+             std::max<std::uint64_t>(1, config.local_slack);
+  }
+  if (config.machines != 0) {
+    machines_ = config.machines;
+  } else {
+    machines_ = (budget + local_capacity_ - 1) / local_capacity_;
+  }
+  if (machines_ < 1) machines_ = 1;
+}
+
+void Cluster::add_rounds(std::uint64_t r, const std::string& label) {
+  rounds_ += r;
+  rounds_by_label_[label] += r;
+}
+
+std::uint64_t Cluster::broadcast_rounds() const {
+  // Fan-out-s broadcast tree over all machines; >= 1 round always.
+  return std::max<std::uint64_t>(
+      1, ceil_log_base(machines_, record_capacity_));
+}
+
+std::uint64_t Cluster::aggregate_rounds(std::uint64_t items) const {
+  return std::max<std::uint64_t>(
+      1, ceil_log_base(std::max<std::uint64_t>(items, 1), record_capacity_));
+}
+
+std::uint64_t Cluster::sort_rounds(std::uint64_t items) const {
+  // [GSZ11]: sorting N items on an MPC with local memory s takes
+  // O(log_s N) rounds; the constant is small, we charge exactly the tree
+  // height plus one shuffle round.
+  return 1 + aggregate_rounds(items);
+}
+
+void Cluster::begin_phase() {
+  ++phases_;
+  phase_start_rounds_ = rounds_;
+  phase_start_comm_ = comm_total_;
+}
+
+void Cluster::set_usage(const std::string& label, std::uint64_t words) {
+  usage_[label] = words;
+  const std::uint64_t total = usage_total();
+  if (total > peak_usage_) peak_usage_ = total;
+  if (total > total_capacity_words()) {
+    std::ostringstream os;
+    os << "total memory " << total << " words exceeds capacity "
+       << total_capacity_words() << " (machines=" << machines_
+       << ", s=" << local_capacity_ << ") after updating '" << label << "'";
+    violate(os.str());
+  }
+}
+
+void Cluster::note_object(std::uint64_t words, const std::string& label) {
+  if (words > peak_object_) peak_object_ = words;
+  if (words > local_capacity_) {
+    std::ostringstream os;
+    os << "indivisible object '" << label << "' of " << words
+       << " words exceeds local memory s=" << local_capacity_;
+    violate(os.str());
+  }
+}
+
+std::uint64_t Cluster::usage_total() const {
+  std::uint64_t total = 0;
+  for (const auto& [label, words] : usage_) total += words;
+  return total;
+}
+
+void Cluster::charge_comm(std::uint64_t words) {
+  comm_total_ += words;
+  if (phase_comm() > peak_phase_comm_) peak_phase_comm_ = phase_comm();
+}
+
+void Cluster::violate(const std::string& what) {
+  violations_.push_back(what);
+  if (config_.strict) throw CheckError("MPC capacity violation: " + what);
+}
+
+std::string Cluster::report() const {
+  std::ostringstream os;
+  os << "MPC cluster: machines=" << machines_ << " s=" << local_capacity_
+     << " words, total capacity=" << total_capacity_words() << " words\n";
+  os << "rounds=" << rounds_ << " over " << phases_ << " phases\n";
+  for (const auto& [label, r] : rounds_by_label_)
+    os << "  rounds[" << label << "] = " << r << "\n";
+  os << "memory: current=" << usage_total() << " peak=" << peak_usage_
+     << " peak object=" << peak_object_ << " words\n";
+  for (const auto& [label, w] : usage_)
+    os << "  usage[" << label << "] = " << w << "\n";
+  os << "communication: total=" << comm_total_
+     << " peak/phase=" << peak_phase_comm_ << " words\n";
+  if (!violations_.empty()) {
+    os << "VIOLATIONS (" << violations_.size() << "):\n";
+    for (const auto& v : violations_) os << "  " << v << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace streammpc::mpc

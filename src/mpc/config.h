@@ -1,0 +1,50 @@
+// Configuration of the simulated MPC deployment (paper §1.2).
+//
+// The model: machines with local memory s = O(n^phi) words, strongly
+// sublinear in the number of vertices n; total memory = machines * s, which
+// the paper's algorithms keep at ~O(n) (n * polylog(n) words).  The
+// simulator derives s and the machine count from (n, phi) unless they are
+// pinned explicitly.
+#pragma once
+
+#include <cstdint>
+
+namespace streammpc::mpc {
+
+struct MpcConfig {
+  // Number of vertices of the maintained graph; drives s = ceil(n^phi).
+  std::uint64_t n = 1024;
+
+  // Local-memory exponent (paper's phi, an arbitrary constant in (0,1)).
+  double phi = 0.5;
+
+  // Words of local memory per machine; 0 = derive
+  // local_slack * ceil(n^phi) * ceil(log2 n)^3, minimum 16.  The log^3
+  // factor mirrors the paper's accounting: batches are limited to
+  // O(n^phi / log^3 n) updates exactly so that the O(log^3 n)-bit sketches
+  // of one batch fit on one machine (Theorem 6.7), i.e. machines hold
+  // n^phi "polylog-sized" records.
+  std::uint64_t local_memory_words = 0;
+
+  // Constant word-size slack for derived local memory (absorbs the
+  // difference between the paper's bit-level accounting and our concrete
+  // struct sizes: 4 words per 1-sparse cell — exact 128-bit index sums —
+  // times the default 2x8 grids and t = 12 banks works out to
+  // ~1536 log2(n) words per vertex against a log^3 n budget, so a slack
+  // of 48 covers every n >= 64 at the default geometry).
+  std::uint64_t local_slack = 48;
+
+  // Number of machines; 0 = derive ceil(total_memory_budget / s).
+  std::uint64_t machines = 0;
+
+  // Total-memory budget in words; 0 = derive c * n * ceil(log2 n)^3, the
+  // paper's ~O(n) = O(n log^3 n) regime (Theorem 6.7).
+  std::uint64_t total_memory_budget = 0;
+
+  // If true, capacity violations throw CheckError immediately; otherwise
+  // they are recorded and reported (benches use the latter to *measure*
+  // head-room, tests use the former).
+  bool strict = false;
+};
+
+}  // namespace streammpc::mpc

@@ -1,0 +1,42 @@
+#include "mpc/primitives.h"
+
+namespace streammpc::mpc {
+
+void broadcast(Cluster* cluster, std::uint64_t words,
+               const std::string& label) {
+  if (cluster == nullptr) return;
+  cluster->add_rounds(cluster->broadcast_rounds(), label);
+  // Every machine receives a copy.
+  cluster->charge_comm(words * cluster->machines());
+}
+
+void gather_to_one(Cluster* cluster, std::uint64_t words,
+                   const std::string& label) {
+  if (cluster == nullptr) return;
+  cluster->note_object(words, label);
+  cluster->add_rounds(cluster->broadcast_rounds(), label);
+  cluster->charge_comm(words);
+}
+
+void aggregate(Cluster* cluster, std::uint64_t items,
+               std::uint64_t words_per_item, const std::string& label) {
+  if (cluster == nullptr) return;
+  cluster->add_rounds(cluster->aggregate_rounds(items), label);
+  // Tree aggregation moves each item at most tree-height times; we charge
+  // the dominant first level.
+  cluster->charge_comm(items * words_per_item);
+}
+
+void sort(Cluster* cluster, std::uint64_t items, const std::string& label) {
+  if (cluster == nullptr) return;
+  cluster->add_rounds(cluster->sort_rounds(items), label);
+  cluster->charge_comm(items);
+}
+
+void scatter(Cluster* cluster, std::uint64_t words, const std::string& label) {
+  if (cluster == nullptr) return;
+  cluster->add_rounds(1, label);
+  cluster->charge_comm(words);
+}
+
+}  // namespace streammpc::mpc

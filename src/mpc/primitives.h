@@ -1,0 +1,40 @@
+// Accounting wrappers for the standard MPC communication primitives the
+// paper invokes: broadcast, gather-to-one-machine, aggregation trees, and
+// constant-round sorting [GSZ11].  Each wrapper charges the round and
+// communication cost of the primitive on the given cluster; the caller
+// performs the corresponding in-process computation itself.
+//
+// All wrappers are no-ops when `cluster` is null, so every algorithm can
+// run without accounting (unit tests of pure logic) or with it (integration
+// tests and benches).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mpc/cluster.h"
+
+namespace streammpc::mpc {
+
+// Broadcast `words` words from one machine to all machines (fan-out-s tree).
+void broadcast(Cluster* cluster, std::uint64_t words, const std::string& label);
+
+// Move `words` words, currently spread over machines, onto one dedicated
+// machine (paper: moving an update batch to a single machine, Claim 6.1;
+// gathering merged sketches, Lemma 6.5).  Validates words <= s.
+void gather_to_one(Cluster* cluster, std::uint64_t words,
+                   const std::string& label);
+
+// Combine `items` objects of `words_per_item` words with a fan-in-s
+// aggregation tree (sketch merging).
+void aggregate(Cluster* cluster, std::uint64_t items,
+               std::uint64_t words_per_item, const std::string& label);
+
+// Constant-round sort of `items` records [GSZ11].
+void sort(Cluster* cluster, std::uint64_t items, const std::string& label);
+
+// Point-to-point scatter of `words` total words (index-shift messages of
+// the Euler-tour updates, §6.2).
+void scatter(Cluster* cluster, std::uint64_t words, const std::string& label);
+
+}  // namespace streammpc::mpc

@@ -1,0 +1,117 @@
+#include "msf/approx_msf.h"
+
+#include <cmath>
+
+#include "graph/reference.h"
+
+#include "common/check.h"
+
+namespace streammpc {
+
+ApproxMsf::ApproxMsf(VertexId n, const ApproxMsfConfig& config,
+                     mpc::Cluster* cluster)
+    : n_(n), config_(config), cluster_(cluster) {
+  SMPC_CHECK(config.eps > 0.0);
+  SMPC_CHECK(config.w_max >= 1);
+  // Thresholds (1+eps)^i for i = 0..t with (1+eps)^t >= W.
+  double th = 1.0;
+  const double base = 1.0 + config.eps;
+  for (;;) {
+    thresholds_.push_back(th);
+    if (th >= static_cast<double>(config.w_max)) break;
+    th *= base;
+  }
+  levels_.reserve(thresholds_.size());
+  for (std::size_t i = 0; i < thresholds_.size(); ++i) {
+    ConnectivityConfig cc = config.connectivity;
+    cc.sketch.seed = SplitMix64(config.seed + i).next();
+    cc.ledger_prefix = "approx-msf/top-level";
+    // The t+1 instances run in parallel on the MPC, so a phase costs the
+    // max of their round bills, not the sum.  The cluster is attached to
+    // the top-threshold instance only: it receives every update of every
+    // batch, so its bill dominates; the remaining instances' memory is
+    // published in aggregate by apply_batch below.
+    const bool representative = i + 1 == thresholds_.size();
+    levels_.push_back(std::make_unique<DynamicConnectivity>(
+        n, cc, representative ? cluster : nullptr));
+  }
+}
+
+double ApproxMsf::threshold(std::size_t i) const { return thresholds_[i]; }
+
+void ApproxMsf::apply_batch(const Batch& batch) {
+  for (const Update& u : batch) {
+    SMPC_CHECK_MSG(u.w >= 1 && u.w <= config_.w_max,
+                   "update weight outside [1, w_max]");
+  }
+  // Instance i receives the sub-batch of updates with weight <= (1+eps)^i.
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    Batch sub;
+    for (const Update& u : batch) {
+      if (static_cast<double>(u.w) <= thresholds_[i]) sub.push_back(u);
+    }
+    if (!sub.empty()) levels_[i]->apply_batch(sub);
+  }
+  if (cluster_ != nullptr) {
+    std::uint64_t other_words = 0;
+    for (std::size_t i = 0; i + 1 < levels_.size(); ++i)
+      other_words += levels_[i]->memory_words();
+    cluster_->set_usage("approx-msf/other-levels", other_words);
+  }
+}
+
+double ApproxMsf::weight_estimate() const {
+  // Generalization of formula (1) to disconnected graphs (the paper
+  // assumes G connected "wlog", §7.2.1).  Summation by parts over the
+  // bucket counts gives the *exact* bucket-capped MSF weight
+  //
+  //   n - (1+eps)^t * cc(G) + sum_{i=0}^{t-1} lambda_i cc(G_i),
+  //
+  // with lambda_i = eps (1+eps)^i, which lies in [w(MSF), (1+eps) w(MSF)]
+  // since every edge's bucket cap is within (1+eps) of its weight.  For
+  // cc(G) = 1 this is formula (1) minus its slack term lambda_t.
+  const std::size_t t = thresholds_.size() - 1;
+  double estimate =
+      static_cast<double>(n_) -
+      thresholds_[t] * static_cast<double>(levels_[t]->num_components());
+  for (std::size_t i = 0; i < t; ++i) {
+    const double lambda = config_.eps * thresholds_[i];
+    estimate += lambda * static_cast<double>(levels_[i]->num_components());
+  }
+  return estimate;
+}
+
+std::vector<std::pair<Edge, double>> ApproxMsf::forest() const {
+  // §7.2.2 with the correctness refinement of DESIGN.md §3(6): process
+  // levels in ascending order and keep an edge of F_i iff it joins two
+  // trees of the forest built so far (a DSU cycle filter).  The paper's
+  // per-edge test "C_{i-1}[u] != C_{i-1}[v]" alone can emit cycles when
+  // the per-level spanning forests route paths inconsistently (F_i may
+  // connect u..v through a vertex outside their common G_{i-1} component).
+  // The cycle filter subsumes that test, and after processing level i the
+  // forest spans exactly the components of G_i, so the number of edges
+  // taken per level — and hence the bucket-capped weight — matches the
+  // MSF of the (1+eps)-rounded weights: within (1+eps) of w(MSF).
+  std::vector<std::pair<Edge, double>> out;
+  Dsu dsu(n_);
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    for (const Edge& e : levels_[i]->spanning_forest()) {
+      if (dsu.unite(e.u, e.v)) out.emplace_back(e, thresholds_[i]);
+    }
+  }
+  return out;
+}
+
+double ApproxMsf::forest_weight() const {
+  double total = 0.0;
+  for (const auto& [e, w] : forest()) total += w;
+  return total;
+}
+
+std::uint64_t ApproxMsf::memory_words() const {
+  std::uint64_t total = 0;
+  for (const auto& level : levels_) total += level->memory_words();
+  return total;
+}
+
+}  // namespace streammpc

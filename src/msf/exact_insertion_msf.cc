@@ -1,0 +1,178 @@
+#include "msf/exact_insertion_msf.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "graph/reference.h"
+#include "mpc/primitives.h"
+
+namespace streammpc {
+
+ExactInsertionMsf::ExactInsertionMsf(VertexId n, mpc::Cluster* cluster)
+    : n_(n), cluster_(cluster), forest_(n, cluster) {
+  publish_usage();
+}
+
+void ExactInsertionMsf::apply_batch(const Batch& batch) {
+  std::vector<WeightedEdge> edges;
+  edges.reserve(batch.size());
+  for (const Update& u : batch) {
+    SMPC_CHECK_MSG(u.type == UpdateType::kInsert,
+                   "ExactInsertionMsf supports insertion-only streams");
+    edges.push_back(WeightedEdge{u.e, u.w});
+  }
+  apply_insert_batch(edges);
+}
+
+void ExactInsertionMsf::bootstrap(const std::vector<WeightedEdge>& edges) {
+  SMPC_CHECK_MSG(stats_.batches == 0 && tree_weight_.empty(),
+                 "bootstrap requires a fresh structure");
+  if (cluster_ != nullptr) {
+    cluster_->begin_phase();
+    std::uint64_t lg = 1;
+    while ((1ULL << lg) < n_) ++lg;
+    cluster_->add_rounds(cluster_->sort_rounds(edges.size()) + lg,
+                         "msf/bootstrap");
+    cluster_->charge_comm(3 * edges.size());
+  }
+  const auto [weight, forest] = kruskal_msf(n_, edges);
+  std::vector<Edge> links;
+  links.reserve(forest.size());
+  for (const WeightedEdge& we : forest) {
+    links.push_back(we.e);
+    tree_weight_[we.e] = we.w;
+  }
+  total_ = weight;
+  stats_.inserts += edges.size();
+  stats_.cross_component_joins += links.size();
+  forest_.batch_link(links);
+  publish_usage();
+}
+
+void ExactInsertionMsf::apply_insert_batch(
+    const std::vector<WeightedEdge>& batch) {
+  if (cluster_ != nullptr) cluster_->begin_phase();
+  ++stats_.batches;
+  stats_.inserts += batch.size();
+  mpc::sort(cluster_, batch.size(), "msf/preprocess");
+  mpc::gather_to_one(cluster_, 3 * batch.size(), "msf/batch");
+
+  // ---- Phase A: cross-component inserts (paper §7.1.2 "Case 1") -------------
+  // Local Kruskal on the auxiliary component multigraph.  Rejected cross
+  // edges stay candidates for Phase B: after Phase A their endpoints are
+  // connected, and they may still displace a heavier tree edge.
+  std::vector<WeightedEdge> sorted = batch;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              if (a.w != b.w) return a.w < b.w;
+              return a.e < b.e;
+            });
+  std::unordered_map<TourId, std::uint32_t> comp_index;
+  auto intern = [&](TourId t) {
+    return comp_index.try_emplace(t, comp_index.size()).first->second;
+  };
+  for (const WeightedEdge& we : sorted) {
+    intern(forest_.tour_of(we.e.u));
+    intern(forest_.tour_of(we.e.v));
+  }
+  Dsu dsu(comp_index.size());
+  std::vector<Edge> links;
+  std::vector<WeightedEdge> candidates;  // Phase-B work list
+  for (const WeightedEdge& we : sorted) {
+    const auto iu = comp_index.at(forest_.tour_of(we.e.u));
+    const auto iv = comp_index.at(forest_.tour_of(we.e.v));
+    if (iu != iv && dsu.unite(static_cast<VertexId>(iu),
+                              static_cast<VertexId>(iv))) {
+      links.push_back(we.e);
+      tree_weight_[we.e] = we.w;
+      total_ += we.w;
+    } else {
+      candidates.push_back(we);
+    }
+  }
+  stats_.cross_component_joins += links.size();
+  forest_.batch_link(links);
+
+  if (candidates.empty()) {
+    publish_usage();
+    return;
+  }
+
+  // ---- Phase B: within-component candidates (paper §7.1.2 "Case 2") ---------
+  // One batched Identify-Path, then a local Kruskal over the union of the
+  // path edges and the candidates decides which tree edges are displaced.
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  pairs.reserve(candidates.size());
+  for (const WeightedEdge& we : candidates) pairs.emplace_back(we.e.u, we.e.v);
+  const auto paths = forest_.batch_identify_paths(
+      std::span<const std::pair<VertexId, VertexId>>(pairs.data(),
+                                                     pairs.size()));
+
+  std::unordered_set<Edge, EdgeHash> path_edges;
+  for (const auto& path : paths)
+    for (const Edge& e : path) path_edges.insert(e);
+
+  // Local graph L = path edges (current tree weights) + candidate edges.
+  std::vector<WeightedEdge> local;
+  local.reserve(path_edges.size() + candidates.size());
+  for (const Edge& e : path_edges) {
+    local.push_back(WeightedEdge{e, tree_weight_.at(e)});
+  }
+  local.insert(local.end(), candidates.begin(), candidates.end());
+  mpc::gather_to_one(cluster_, 3 * local.size(), "msf/skeleton");
+  const auto [ignored_w, msf_l] = kruskal_msf(n_, local);
+  (void)ignored_w;
+
+  std::unordered_set<Edge, EdgeHash> keep;
+  for (const WeightedEdge& we : msf_l) keep.insert(we.e);
+
+  std::vector<Edge> cuts;
+  for (const Edge& e : path_edges) {
+    if (!keep.count(e)) {
+      cuts.push_back(e);
+      total_ -= tree_weight_.at(e);
+      tree_weight_.erase(e);
+    }
+  }
+  std::vector<Edge> joins;
+  for (const WeightedEdge& we : candidates) {
+    if (keep.count(we.e)) {
+      joins.push_back(we.e);
+      tree_weight_[we.e] = we.w;
+      total_ += we.w;
+    } else {
+      ++stats_.rejected;
+    }
+  }
+  SMPC_CHECK_MSG(joins.size() == cuts.size(),
+                 "phase B must swap tree edges one-for-one");
+  stats_.swaps += cuts.size();
+  forest_.batch_cut(cuts);
+  forest_.batch_link(joins);
+  publish_usage();
+}
+
+std::vector<WeightedEdge> ExactInsertionMsf::forest_edges() const {
+  std::vector<WeightedEdge> out;
+  out.reserve(tree_weight_.size());
+  for (const auto& [e, w] : tree_weight_) out.push_back(WeightedEdge{e, w});
+  std::sort(out.begin(), out.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              return a.e < b.e;
+            });
+  return out;
+}
+
+std::uint64_t ExactInsertionMsf::memory_words() const {
+  return forest_.words() + 2 * tree_weight_.size();
+}
+
+void ExactInsertionMsf::publish_usage() {
+  if (cluster_ == nullptr) return;
+  cluster_->set_usage("msf/forest", forest_.words());
+  cluster_->set_usage("msf/tree-weights", 2 * tree_weight_.size());
+}
+
+}  // namespace streammpc

@@ -1,0 +1,83 @@
+// Exact minimum spanning forest for insertion-only streams
+// (Theorem 1.2(i), §7.1).
+//
+// The folklore streaming algorithm: keep the current MSF F; on inserting
+// e = {u, v}, if u, v are disconnected add e, else swap e with the
+// heaviest edge on the tree path u..v when that improves the forest.  The
+// paper's contribution is processing a *batch* of O(n^phi) insertions in
+// O(1/phi) rounds using batched Euler-tour operations, in particular the
+// Identify-Path batch (Lemma 7.2 / §7.1.2).
+//
+// Batch handling (see DESIGN.md §3(4) for the correctness refinement over
+// the paper's sketch):
+//   Phase A — cross-component inserts: local Kruskal on the auxiliary
+//     component multigraph; accepted edges batch-join the forest; rejected
+//     edges become within-component candidates (they may still displace a
+//     heavy tree edge).
+//   Phase B — within-component candidates: one batched Identify-Path
+//     collects all tree paths; a local Kruskal over (path edges ∪
+//     candidates) decides the swaps, applied with one batch split + one
+//     batch join.  The result equals MSF(F ∪ I) exactly.
+//
+// Total memory ~O(n): the forest (Euler tours) plus one weight per tree
+// edge; no non-tree edge is ever stored.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "euler/tour_forest.h"
+#include "graph/types.h"
+#include "mpc/cluster.h"
+
+namespace streammpc {
+
+class ExactInsertionMsf {
+ public:
+  explicit ExactInsertionMsf(VertexId n, mpc::Cluster* cluster = nullptr);
+
+  VertexId n() const { return n_; }
+
+  // Processes one batch of insertions (weights required; deletions are not
+  // supported in this problem — Theorem 1.2(i) is insertion-only).
+  void apply_insert_batch(const std::vector<WeightedEdge>& batch);
+  // Convenience: accepts an Update batch, checking it is insert-only.
+  void apply_batch(const Batch& batch);
+
+  // Pre-computation phase (§1.1): initialize from a static weighted graph
+  // (one local Kruskal + one batch join, charged O(log n) rounds) instead
+  // of streaming it in batches.  Requires a fresh structure.
+  void bootstrap(const std::vector<WeightedEdge>& edges);
+
+  Weight total_weight() const { return total_; }
+  std::vector<WeightedEdge> forest_edges() const;  // sorted by edge
+  std::size_t num_components() const { return forest_.num_trees(); }
+  bool same_component(VertexId u, VertexId v) const {
+    return forest_.same_tree(u, v);
+  }
+  const EulerTourForest& forest() const { return forest_; }
+
+  struct Stats {
+    std::uint64_t batches = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t cross_component_joins = 0;
+    std::uint64_t swaps = 0;  // tree edges displaced by better inserts
+    std::uint64_t rejected = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  std::uint64_t memory_words() const;
+
+ private:
+  void publish_usage();
+
+  VertexId n_;
+  mpc::Cluster* cluster_;
+  EulerTourForest forest_;
+  std::unordered_map<Edge, Weight, EdgeHash> tree_weight_;
+  Weight total_ = 0;
+  Stats stats_;
+};
+
+}  // namespace streammpc

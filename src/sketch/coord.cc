@@ -1,0 +1,40 @@
+#include "sketch/coord.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streammpc {
+
+EdgeCoordCodec::EdgeCoordCodec(VertexId n) : n_(n) {
+  SMPC_CHECK(n >= 2);
+  dim_ = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+}
+
+Coord EdgeCoordCodec::encode(Edge e) const {
+  SMPC_CHECK(e.u < e.v && e.v < n_);
+  const std::uint64_t u = e.u;
+  const std::uint64_t v = e.v;
+  return u * (2 * n_ - u - 1) / 2 + (v - u - 1);
+}
+
+Edge EdgeCoordCodec::decode(Coord c) const {
+  SMPC_CHECK(c < dim_);
+  // Row u starts at offset(u) = u*(2n-u-1)/2; find the largest u with
+  // offset(u) <= c via a floating-point estimate refined by integer steps.
+  const double nd = static_cast<double>(n_);
+  const double cd = static_cast<double>(c);
+  double est = nd - 0.5 - std::sqrt((nd - 0.5) * (nd - 0.5) - 2.0 * cd);
+  std::uint64_t u = est <= 0 ? 0 : static_cast<std::uint64_t>(est);
+  if (u >= n_ - 1) u = n_ - 2;
+  auto offset = [this](std::uint64_t row) {
+    return row * (2 * n_ - row - 1) / 2;
+  };
+  while (u > 0 && offset(u) > c) --u;
+  while (u + 2 < n_ && offset(u + 1) <= c) ++u;
+  const std::uint64_t v = u + 1 + (c - offset(u));
+  SMPC_CHECK(v < n_);
+  return Edge{static_cast<VertexId>(u), static_cast<VertexId>(v)};
+}
+
+}  // namespace streammpc

@@ -1,0 +1,34 @@
+// Edge-coordinate codec (paper §3.1).
+//
+// The AGM vertex vectors X_v live in {-1, 0, +1}^(n choose 2); every
+// unordered vertex pair {i, j}, i < j, is a coordinate.  We use the
+// row-major upper-triangle enumeration:
+//   coord({i, j}) = i*(2n - i - 1)/2 + (j - i - 1).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.h"
+
+namespace streammpc {
+
+using Coord = std::uint64_t;
+
+class EdgeCoordCodec {
+ public:
+  explicit EdgeCoordCodec(VertexId n);
+
+  VertexId n() const { return n_; }
+
+  // Number of coordinates N = n(n-1)/2.
+  std::uint64_t dimension() const { return dim_; }
+
+  Coord encode(Edge e) const;
+  Edge decode(Coord c) const;
+
+ private:
+  VertexId n_;
+  std::uint64_t dim_;
+};
+
+}  // namespace streammpc

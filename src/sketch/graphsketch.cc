@@ -1,0 +1,64 @@
+#include "sketch/graphsketch.h"
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace streammpc {
+
+VertexSketches::VertexSketches(VertexId n, const GraphSketchConfig& config)
+    : n_(n), codec_(n) {
+  SMPC_CHECK(config.banks >= 1);
+  SplitMix64 sm(config.seed);
+  params_.reserve(config.banks);
+  samplers_.resize(config.banks);
+  for (unsigned b = 0; b < config.banks; ++b) {
+    params_.emplace_back(codec_.dimension(), config.shape, sm.next());
+    samplers_[b].resize(n);
+  }
+}
+
+void VertexSketches::update_edge(Edge e, std::int64_t delta) {
+  SMPC_CHECK(e.u < e.v && e.v < n_);
+  const Coord c = codec_.encode(e);
+  for (unsigned b = 0; b < banks(); ++b) {
+    // Paper's sign convention: +1 at the max endpoint, -1 at the min.
+    samplers_[b][e.v].update(params_[b], c, delta);
+    samplers_[b][e.u].update(params_[b], c, -delta);
+  }
+}
+
+L0Sampler VertexSketches::merged(unsigned bank,
+                                 std::span<const VertexId> vertices) const {
+  SMPC_CHECK(bank < banks());
+  L0Sampler acc;
+  for (VertexId v : vertices) {
+    SMPC_CHECK(v < n_);
+    acc.merge(params_[bank], samplers_[bank][v]);
+  }
+  return acc;
+}
+
+std::optional<Edge> VertexSketches::decode_sample(unsigned bank,
+                                                  const L0Sampler& s) const {
+  const auto r = s.sample(params_[bank]);
+  if (!r) return std::nullopt;
+  return codec_.decode(r->coord);
+}
+
+std::optional<Edge> VertexSketches::sample_boundary(
+    unsigned bank, std::span<const VertexId> vertices) const {
+  return decode_sample(bank, merged(bank, vertices));
+}
+
+std::uint64_t VertexSketches::allocated_words() const {
+  std::uint64_t total = 0;
+  for (const auto& bank : samplers_)
+    for (const auto& s : bank) total += s.words();
+  return total;
+}
+
+std::uint64_t VertexSketches::nominal_words_per_vertex() const {
+  return params_.front().nominal_words() * banks();
+}
+
+}  // namespace streammpc

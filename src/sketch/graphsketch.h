@@ -1,0 +1,74 @@
+// AGM graph sketches (paper §3.1, Lemmas 3.3–3.5).
+//
+// For each vertex v the signed incidence vector X_v over edge coordinates:
+//   X_v(coord{i,j}) = +1 if {i,j} is an edge and v = max(i,j)
+//                     -1 if {i,j} is an edge and v = min(i,j)
+// so that for any vertex set A, X_A = sum_{v in A} X_v has support exactly
+// E(A, V \ A) (internal edges cancel) — Lemma 3.3.
+//
+// VertexSketches keeps t independent *banks* of L0-samplers per vertex
+// (§6.3 maintains t = O(log n) independent sketches per vertex); bank b of
+// a vertex set is the merge of bank b over its vertices and yields a random
+// boundary edge (Lemma 3.5).  Banks are consumed one per Boruvka level so
+// that each query uses fresh randomness.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sketch/coord.h"
+#include "sketch/l0sampler.h"
+
+namespace streammpc {
+
+struct GraphSketchConfig {
+  unsigned banks = 12;  // t: independent sketches per vertex
+  L0Shape shape{2, 8};  // per-level s-sparse geometry
+  std::uint64_t seed = 0x5eedULL;
+};
+
+class VertexSketches {
+ public:
+  VertexSketches(VertexId n, const GraphSketchConfig& config);
+
+  VertexId n() const { return n_; }
+  unsigned banks() const { return static_cast<unsigned>(params_.size()); }
+  const EdgeCoordCodec& codec() const { return codec_; }
+
+  // Applies an edge insertion (delta = +1) or deletion (delta = -1) to the
+  // sketches of both endpoints in every bank.
+  void update_edge(Edge e, std::int64_t delta);
+
+  // Merged sampler of bank `bank` over a vertex set (Lemma 3.5's S_A).
+  L0Sampler merged(unsigned bank, std::span<const VertexId> vertices) const;
+
+  // Samples a boundary edge of the vertex set from bank `bank`; nullopt if
+  // the boundary is (w.h.p.) empty or the sampler failed.
+  std::optional<Edge> sample_boundary(unsigned bank,
+                                      std::span<const VertexId> vertices) const;
+
+  // Decodes a sampler's output into an edge.
+  std::optional<Edge> decode_sample(unsigned bank, const L0Sampler& s) const;
+
+  const L0Params& params(unsigned bank) const { return params_[bank]; }
+  const L0Sampler& sampler(unsigned bank, VertexId v) const {
+    return samplers_[bank][v];
+  }
+
+  // --- memory accounting -----------------------------------------------------
+  // Words actually allocated across all banks and vertices.
+  std::uint64_t allocated_words() const;
+  // Nominal per-vertex footprint (Lemma 3.4's O(log^2 n log(1/delta)) words
+  // per sketch, times banks).
+  std::uint64_t nominal_words_per_vertex() const;
+
+ private:
+  VertexId n_;
+  EdgeCoordCodec codec_;
+  std::vector<L0Params> params_;              // one per bank
+  std::vector<std::vector<L0Sampler>> samplers_;  // [bank][vertex]
+};
+
+}  // namespace streammpc

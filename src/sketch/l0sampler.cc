@@ -1,0 +1,98 @@
+#include "sketch/l0sampler.h"
+
+#include "common/check.h"
+
+namespace streammpc {
+
+namespace {
+unsigned levels_for(std::uint64_t dimension) {
+  unsigned l = 1;
+  while ((1ULL << l) < dimension) ++l;
+  return l + 1;
+}
+}  // namespace
+
+L0Params::L0Params(std::uint64_t dimension, L0Shape shape, std::uint64_t seed)
+    : dimension_(dimension),
+      levels_(levels_for(dimension)),
+      level_hash_(SplitMix64(seed).next()),
+      rank_hash_(2, SplitMix64(seed ^ 0xabcdef12345ULL).next()) {
+  SMPC_CHECK(dimension >= 1);
+  SplitMix64 sm(seed + 0x1234);
+  level_params_.reserve(levels_);
+  for (unsigned j = 0; j < levels_; ++j) {
+    level_params_.emplace_back(SSparseShape{shape.rows, shape.buckets},
+                               dimension, sm.next());
+  }
+}
+
+unsigned L0Params::depth_of(Coord c) const {
+  // Hash into [0, 2^levels); coordinate belongs to level j iff
+  // value < 2^{levels - j}, i.e. depth = levels - 1 - floor(log2(value+1))
+  // clipped to [0, levels-1].  Level 0 always contains c.
+  const std::uint64_t range = 1ULL << levels_;
+  const std::uint64_t v = level_hash_.bucket(c, range);
+  unsigned depth = 0;
+  std::uint64_t threshold = range >> 1;  // level 1 cutoff
+  while (depth + 1 < levels_ && v < threshold) {
+    ++depth;
+    threshold >>= 1;
+  }
+  return depth;
+}
+
+std::uint64_t L0Params::nominal_words() const {
+  // levels * rows * buckets cells of 4 words each, plus O(1) metadata.
+  const auto& sh = level_params_.front().shape();
+  return static_cast<std::uint64_t>(levels_) * sh.rows * sh.buckets * 4 + 8;
+}
+
+void L0Sampler::ensure(const L0Params& params) {
+  if (levels_.empty()) levels_.resize(params.levels());
+}
+
+void L0Sampler::update(const L0Params& params, Coord c, std::int64_t delta) {
+  if (delta == 0) return;
+  ensure(params);
+  const unsigned depth = params.depth_of(c);
+  for (unsigned j = 0; j <= depth; ++j) {
+    levels_[j].update(params.level_params(j), c, delta);
+  }
+}
+
+void L0Sampler::merge(const L0Params& params, const L0Sampler& other) {
+  if (!other.allocated()) return;
+  ensure(params);
+  for (unsigned j = 0; j < params.levels(); ++j) {
+    levels_[j].merge(params.level_params(j), other.levels_[j]);
+  }
+}
+
+std::optional<OneSparseResult> L0Sampler::sample(const L0Params& params) const {
+  if (!allocated()) return std::nullopt;
+  // Scan from the sparsest level down; the first level with a successful
+  // recovery yields the min-rank support element.
+  for (unsigned j = params.levels(); j-- > 0;) {
+    const auto recovered = levels_[j].recover(params.level_params(j));
+    if (recovered.empty()) continue;
+    const OneSparseResult* best = &recovered.front();
+    std::uint64_t best_rank = params.rank_of(best->coord);
+    for (const auto& r : recovered) {
+      const std::uint64_t rank = params.rank_of(r.coord);
+      if (rank < best_rank) {
+        best_rank = rank;
+        best = &r;
+      }
+    }
+    return *best;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t L0Sampler::words() const {
+  std::uint64_t total = 0;
+  for (const auto& level : levels_) total += level.words();
+  return total;
+}
+
+}  // namespace streammpc

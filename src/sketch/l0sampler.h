@@ -1,0 +1,86 @@
+// L0-sampler over a signed vector X in {-poly .. +poly}^N (Lemma 3.1,
+// [CJ19]-style construction):
+//
+//  * levels j = 0 .. L-1, L = ceil(log2 N) + 1; a shared pairwise hash
+//    assigns every coordinate a geometric level cutoff, so level j contains
+//    each coordinate with probability 2^{-j} (level 0 = everything);
+//  * each level keeps an s-sparse recovery grid;
+//  * a query scans from the sparsest level down, recovers the surviving
+//    support, and returns the element minimizing a shared rank hash (a
+//    min-wise selection, making the choice near-uniform over the support);
+//  * the sketch is linear: merge() adds grids cell-wise, so the sampler of
+//    a vertex set is the sum of the vertices' samplers (Remark 3.2).
+//
+// Shared randomness lives in L0Params; all samplers that may ever be merged
+// must be built against the same L0Params instance.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/hashing.h"
+#include "sketch/ssparse.h"
+
+namespace streammpc {
+
+struct L0Shape {
+  unsigned rows = 2;     // s-sparse rows per level
+  unsigned buckets = 8;  // s-sparse buckets per row
+};
+
+class L0Params {
+ public:
+  L0Params(std::uint64_t dimension, L0Shape shape, std::uint64_t seed);
+
+  std::uint64_t dimension() const { return dimension_; }
+  unsigned levels() const { return levels_; }
+  const SSparseParams& level_params(unsigned level) const {
+    return level_params_[level];
+  }
+
+  // Deepest level containing coordinate c (c belongs to levels 0..depth).
+  unsigned depth_of(Coord c) const;
+
+  // Rank used for min-wise uniform selection among recovered coordinates.
+  std::uint64_t rank_of(Coord c) const { return rank_hash_(c); }
+
+  // Nominal sketch size in words (for MPC memory accounting): matches the
+  // O(log^2 N) bound of Lemma 3.1 for the configured shape.
+  std::uint64_t nominal_words() const;
+
+ private:
+  std::uint64_t dimension_;
+  unsigned levels_;
+  PairwiseHash level_hash_;
+  KWiseHash rank_hash_;
+  std::vector<SSparseParams> level_params_;
+};
+
+class L0Sampler {
+ public:
+  // Default-constructed sampler is the zero vector (no storage).
+  L0Sampler() = default;
+
+  void update(const L0Params& params, Coord c, std::int64_t delta);
+  void merge(const L0Params& params, const L0Sampler& other);
+
+  // Returns a (near-uniform) random support element with its weight, or
+  // nullopt if the vector is (w.h.p.) zero or recovery failed at every
+  // level.  Failure on a nonzero vector happens with constant probability
+  // per sampler; callers keep O(log n) independent banks (§6.3).
+  std::optional<OneSparseResult> sample(const L0Params& params) const;
+
+  bool allocated() const { return !levels_.empty(); }
+
+  // Words currently allocated (0 for the zero vector).
+  std::uint64_t words() const;
+
+ private:
+  void ensure(const L0Params& params);
+
+  std::vector<SSparseRecovery> levels_;
+};
+
+}  // namespace streammpc

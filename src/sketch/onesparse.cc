@@ -1,0 +1,46 @@
+#include "sketch/onesparse.h"
+
+#include "common/check.h"
+#include "common/field.h"
+
+namespace streammpc {
+
+namespace {
+// Maps a signed delta into GF(p).
+std::uint64_t to_field(std::int64_t delta) {
+  if (delta >= 0) return Mersenne61::reduce(static_cast<std::uint64_t>(delta));
+  const std::uint64_t mag =
+      Mersenne61::reduce(static_cast<std::uint64_t>(-delta));
+  return Mersenne61::sub(0, mag);
+}
+}  // namespace
+
+void OneSparseCell::update(Coord c, std::int64_t delta, std::uint64_t z) {
+  if (delta == 0) return;
+  w_ += delta;
+  s_ += static_cast<__int128>(c) * delta;
+  fp_ = Mersenne61::add(fp_,
+                        Mersenne61::mul(to_field(delta), Mersenne61::pow(z, c)));
+}
+
+void OneSparseCell::merge(const OneSparseCell& other) {
+  w_ += other.w_;
+  s_ += other.s_;
+  fp_ = Mersenne61::add(fp_, other.fp_);
+}
+
+std::optional<OneSparseResult> OneSparseCell::decode(
+    std::uint64_t z, std::uint64_t dimension) const {
+  if (is_zero()) return std::nullopt;
+  if (w_ == 0) return std::nullopt;  // cancelling multi-element state
+  if (s_ % w_ != 0) return std::nullopt;
+  const __int128 cand = s_ / w_;
+  if (cand < 0 || cand >= static_cast<__int128>(dimension)) return std::nullopt;
+  const Coord c = static_cast<Coord>(cand);
+  const std::uint64_t expected =
+      Mersenne61::mul(to_field(w_), Mersenne61::pow(z, c));
+  if (expected != fp_) return std::nullopt;
+  return OneSparseResult{c, w_};
+}
+
+}  // namespace streammpc

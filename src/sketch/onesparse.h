@@ -1,0 +1,50 @@
+// 1-sparse recovery cell: the atomic building block of the s-sparse
+// recovery structure and hence of the L0-sampler (Lemma 3.1).
+//
+// Maintains, for a signed integer vector X updated coordinate-wise:
+//   w  = sum_i X_i                       (total weight)
+//   s  = sum_i i * X_i                   (index-weighted sum, exact)
+//   fp = sum_i X_i * z^i  mod p          (polynomial fingerprint, p = 2^61-1)
+// If X is exactly 1-sparse with X_c = w, then s = c*w and fp = w * z^c; the
+// fingerprint makes the converse hold except with probability <= N/p.
+//
+// The cell is *linear*: merging two cells is component-wise addition, so
+// sketches of vertex sets add up (Remark 3.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sketch/coord.h"
+
+namespace streammpc {
+
+struct OneSparseResult {
+  Coord coord = 0;
+  std::int64_t weight = 0;
+};
+
+class OneSparseCell {
+ public:
+  // `z` is the shared fingerprint base (same across all cells that may be
+  // merged together); `dimension` bounds valid coordinates.
+  void update(Coord c, std::int64_t delta, std::uint64_t z);
+
+  void merge(const OneSparseCell& other);
+
+  bool is_zero() const { return w_ == 0 && s_ == 0 && fp_ == 0; }
+
+  // Decodes if the cell state is consistent with an exactly-1-sparse
+  // vector; returns nullopt for zero or multi-element states.
+  std::optional<OneSparseResult> decode(std::uint64_t z,
+                                        std::uint64_t dimension) const;
+
+  std::int64_t weight_sum() const { return w_; }
+
+ private:
+  std::int64_t w_ = 0;
+  __int128 s_ = 0;
+  std::uint64_t fp_ = 0;
+};
+
+}  // namespace streammpc

@@ -1,0 +1,118 @@
+// Tests for dynamic bipartiteness (Theorem 7.3, §7.3): double-cover
+// reduction cross-checked against BFS 2-coloring over dynamic streams.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "bipartite/bipartiteness.h"
+#include "graph/adjacency.h"
+#include "graph/generators.h"
+#include "graph/reference.h"
+#include "graph/streams.h"
+
+namespace streammpc {
+namespace {
+
+BipartitenessConfig test_config(std::uint64_t seed) {
+  BipartitenessConfig c;
+  c.connectivity.sketch.banks = 10;
+  c.seed = seed;
+  return c;
+}
+
+TEST(Bipartiteness, EmptyGraphIsBipartite) {
+  DynamicBipartiteness b(8, test_config(1));
+  EXPECT_TRUE(b.is_bipartite());
+}
+
+TEST(Bipartiteness, EvenCycleBipartiteOddCycleNot) {
+  DynamicBipartiteness even(6, test_config(2));
+  Batch be;
+  for (const Edge& e : gen::cycle_graph(6)) be.push_back({UpdateType::kInsert, e, 1});
+  even.apply_batch(be);
+  EXPECT_TRUE(even.is_bipartite());
+
+  DynamicBipartiteness odd(5, test_config(3));
+  Batch bo;
+  for (const Edge& e : gen::cycle_graph(5)) bo.push_back({UpdateType::kInsert, e, 1});
+  odd.apply_batch(bo);
+  EXPECT_FALSE(odd.is_bipartite());
+}
+
+TEST(Bipartiteness, DeletionRestoresBipartiteness) {
+  DynamicBipartiteness b(5, test_config(4));
+  Batch ins;
+  for (const Edge& e : gen::cycle_graph(5)) ins.push_back({UpdateType::kInsert, e, 1});
+  b.apply_batch(ins);
+  EXPECT_FALSE(b.is_bipartite());
+  b.apply_batch({erase_of(0, 1)});
+  EXPECT_TRUE(b.is_bipartite());
+}
+
+TEST(Bipartiteness, OddComponentAnywhereBreaksGlobalBipartiteness) {
+  DynamicBipartiteness b(10, test_config(5));
+  // Bipartite component {0..3} plus a triangle {7,8,9}.
+  Batch batch{insert_of(0, 1), insert_of(1, 2), insert_of(2, 3),
+              insert_of(7, 8), insert_of(8, 9), insert_of(7, 9)};
+  b.apply_batch(batch);
+  EXPECT_FALSE(b.is_bipartite());
+}
+
+TEST(Bipartiteness, RandomStreamMatchesOracle) {
+  Rng rng(6);
+  const VertexId n = 24;
+  gen::ChurnOptions opt;
+  opt.n = n;
+  opt.initial_edges = 40;
+  opt.num_batches = 20;
+  opt.batch_size = 6;
+  opt.delete_fraction = 0.45;
+  const auto batches = gen::churn_stream(opt, rng);
+  DynamicBipartiteness b(n, test_config(7));
+  AdjGraph ref(n);
+  for (const auto& batch : batches) {
+    b.apply_batch(batch);
+    ref.apply(batch);
+    EXPECT_EQ(b.is_bipartite(), is_bipartite(ref));
+  }
+}
+
+TEST(Bipartiteness, BipartitePreservingStreamStaysBipartite) {
+  Rng rng(8);
+  const VertexId n = 30;  // left 0..14, right 15..29
+  const auto edges = gen::random_bipartite(15, 15, 80, rng);
+  const auto batches = gen::into_batches(gen::insert_stream(edges, rng), 10);
+  DynamicBipartiteness b(n, test_config(9));
+  for (const auto& batch : batches) {
+    b.apply_batch(batch);
+    EXPECT_TRUE(b.is_bipartite());
+  }
+  // One cross edge inside the left side that closes an odd cycle flips it.
+  AdjGraph ref(n);
+  for (const Edge& e : edges) ref.insert_edge(e.u, e.v);
+  // Find two left vertices with a common right neighbor.
+  for (VertexId a = 0; a < 15; ++a) {
+    bool done = false;
+    for (VertexId c = a + 1; c < 15 && !done; ++c) {
+      for (const auto& [r, w] : ref.neighbors(a)) {
+        if (ref.has_edge(c, r)) {
+          b.apply_batch({insert_of(a, c)});
+          EXPECT_FALSE(b.is_bipartite());
+          done = true;
+          break;
+        }
+      }
+    }
+    if (done) break;
+  }
+}
+
+TEST(Bipartiteness, MemoryIsTwoConnectivityInstances) {
+  DynamicBipartiteness b(16, test_config(10));
+  b.apply_batch({insert_of(0, 1), insert_of(1, 2)});
+  EXPECT_EQ(b.memory_words(),
+            b.base().memory_words() + b.double_cover().memory_words());
+  EXPECT_EQ(b.double_cover().n(), 32u);
+}
+
+}  // namespace
+}  // namespace streammpc

@@ -1,0 +1,122 @@
+// Tests for the per-component bipartiteness refinement (double-cover
+// property: v's component is non-bipartite iff v1 ~ v2 in G').
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "bipartite/bipartiteness.h"
+#include "common/random.h"
+#include "graph/adjacency.h"
+#include "graph/generators.h"
+#include "graph/streams.h"
+
+namespace streammpc {
+namespace {
+
+BipartitenessConfig cfg(std::uint64_t seed) {
+  BipartitenessConfig c;
+  c.connectivity.sketch.banks = 10;
+  c.seed = seed;
+  return c;
+}
+
+// Reference: per-component 2-colorability.
+std::vector<bool> component_bipartite_oracle(const AdjGraph& g) {
+  const VertexId n = g.n();
+  std::vector<int> color(n, -1);
+  std::vector<bool> ok(n, true);
+  for (VertexId s = 0; s < n; ++s) {
+    if (color[s] != -1) continue;
+    std::vector<VertexId> members;
+    bool bip = true;
+    color[s] = 0;
+    std::queue<VertexId> q;
+    q.push(s);
+    while (!q.empty()) {
+      const VertexId u = q.front();
+      q.pop();
+      members.push_back(u);
+      for (const auto& [v, w] : g.neighbors(u)) {
+        if (color[v] == -1) {
+          color[v] = 1 - color[u];
+          q.push(v);
+        } else if (color[v] == color[u]) {
+          bip = false;
+        }
+      }
+    }
+    for (const VertexId v : members) ok[v] = bip;
+  }
+  return ok;
+}
+
+TEST(ComponentBipartiteness, MixedComponents) {
+  const VertexId n = 12;
+  DynamicBipartiteness b(n, cfg(1));
+  // Component A: even cycle {0..3}; component B: triangle {6,7,8}.
+  Batch batch{insert_of(0, 1), insert_of(1, 2), insert_of(2, 3),
+              insert_of(0, 3), insert_of(6, 7), insert_of(7, 8),
+              insert_of(6, 8)};
+  b.apply_batch(batch);
+  EXPECT_FALSE(b.is_bipartite());  // globally no
+  EXPECT_TRUE(b.is_component_bipartite(0));
+  EXPECT_TRUE(b.is_component_bipartite(3));
+  EXPECT_FALSE(b.is_component_bipartite(6));
+  EXPECT_FALSE(b.is_component_bipartite(8));
+  EXPECT_TRUE(b.is_component_bipartite(11));  // isolated vertex
+}
+
+TEST(ComponentBipartiteness, RecoversAfterOddEdgeRemoval) {
+  const VertexId n = 6;
+  DynamicBipartiteness b(n, cfg(2));
+  Batch tri{insert_of(0, 1), insert_of(1, 2), insert_of(0, 2)};
+  b.apply_batch(tri);
+  EXPECT_FALSE(b.is_component_bipartite(1));
+  b.apply_batch({erase_of(0, 2)});
+  EXPECT_TRUE(b.is_component_bipartite(1));
+}
+
+TEST(ComponentBipartiteness, MatchesOracleOverChurn) {
+  const VertexId n = 20;
+  Rng rng(3);
+  DynamicBipartiteness b(n, cfg(4));
+  AdjGraph ref(n);
+  gen::ChurnOptions opt;
+  opt.n = n;
+  opt.initial_edges = 30;
+  opt.num_batches = 16;
+  opt.batch_size = 5;
+  opt.delete_fraction = 0.4;
+  for (const auto& batch : gen::churn_stream(opt, rng)) {
+    b.apply_batch(batch);
+    ref.apply(batch);
+    const auto oracle = component_bipartite_oracle(ref);
+    for (VertexId v = 0; v < n; v += 3) {
+      ASSERT_EQ(b.is_component_bipartite(v), oracle[v])
+          << "vertex " << v;
+    }
+  }
+}
+
+TEST(ComponentBipartiteness, GlobalEqualsConjunctionOfComponents) {
+  const VertexId n = 18;
+  Rng rng(5);
+  DynamicBipartiteness b(n, cfg(6));
+  AdjGraph ref(n);
+  gen::ChurnOptions opt;
+  opt.n = n;
+  opt.initial_edges = 25;
+  opt.num_batches = 10;
+  opt.batch_size = 5;
+  opt.delete_fraction = 0.35;
+  for (const auto& batch : gen::churn_stream(opt, rng)) {
+    b.apply_batch(batch);
+    ref.apply(batch);
+    bool all = true;
+    for (VertexId v = 0; v < n; ++v) all &= b.is_component_bipartite(v);
+    ASSERT_EQ(b.is_bipartite(), all);
+  }
+}
+
+}  // namespace
+}  // namespace streammpc

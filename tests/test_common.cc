@@ -1,0 +1,221 @@
+// Unit tests for the common substrate: PRNG, field arithmetic, hash
+// families, statistics, table printing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+#include "common/field.h"
+#include "common/hashing.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace streammpc {
+namespace {
+
+TEST(Random, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Random, BelowIsInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Random, BelowIsRoughlyUniform) {
+  Rng rng(13);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 5 * std::sqrt(kDraws));
+  }
+}
+
+TEST(Random, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, Uniform01InRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Random, ForkIndependence) {
+  Rng a(5);
+  Rng b = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Random, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  shuffle(w, rng);
+  std::multiset<int> a(v.begin(), v.end()), b(w.begin(), w.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Field, AddSubRoundtrip) {
+  const std::uint64_t p = Mersenne61::kPrime;
+  Rng rng(21);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.below(p);
+    const std::uint64_t b = rng.below(p);
+    EXPECT_EQ(Mersenne61::sub(Mersenne61::add(a, b), b), a);
+  }
+}
+
+TEST(Field, MulMatchesNaive128) {
+  Rng rng(22);
+  const std::uint64_t p = Mersenne61::kPrime;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.below(p);
+    const std::uint64_t b = rng.below(p);
+    const std::uint64_t expect =
+        static_cast<std::uint64_t>((static_cast<__uint128_t>(a) * b) % p);
+    EXPECT_EQ(Mersenne61::mul(a, b), expect);
+  }
+}
+
+TEST(Field, PowAgainstRepeatedMul) {
+  const std::uint64_t base = 1234567891011ULL;
+  std::uint64_t acc = 1;
+  for (unsigned e = 0; e < 30; ++e) {
+    EXPECT_EQ(Mersenne61::pow(base, e), acc);
+    acc = Mersenne61::mul(acc, Mersenne61::reduce(base));
+  }
+}
+
+TEST(Field, FermatInverse) {
+  Rng rng(23);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t a = rng.below(Mersenne61::kPrime - 1) + 1;
+    EXPECT_EQ(Mersenne61::mul(a, Mersenne61::inv(a)), 1u);
+  }
+}
+
+TEST(Field, ReduceIdempotent) {
+  EXPECT_EQ(Mersenne61::reduce(Mersenne61::kPrime), 0u);
+  EXPECT_EQ(Mersenne61::reduce(Mersenne61::kPrime + 5), 5u);
+  EXPECT_EQ(Mersenne61::reduce(~0ULL), Mersenne61::reduce(Mersenne61::reduce(~0ULL)));
+}
+
+TEST(Hashing, Deterministic) {
+  PairwiseHash h1(99), h2(99);
+  for (std::uint64_t x = 0; x < 100; ++x) EXPECT_EQ(h1(x), h2(x));
+}
+
+TEST(Hashing, BucketInRange) {
+  PairwiseHash h(123);
+  for (std::uint64_t x = 0; x < 1000; ++x) {
+    EXPECT_LT(h.bucket(x, 17), 17u);
+  }
+}
+
+TEST(Hashing, BucketRoughlyUniform) {
+  PairwiseHash h(777);
+  constexpr std::uint64_t kBuckets = 16;
+  constexpr int kDraws = 64000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int x = 0; x < kDraws; ++x) ++counts[h.bucket(x, kBuckets)];
+  for (int c : counts) EXPECT_NEAR(c, kDraws / kBuckets, 6 * std::sqrt(kDraws));
+}
+
+TEST(Hashing, PairwiseCollisionRate) {
+  // Pairwise independence => collision probability ~1/range.
+  PairwiseHash h(31);
+  constexpr std::uint64_t kRange = 1 << 12;
+  int collisions = 0;
+  const int kPairs = 20000;
+  for (int i = 0; i < kPairs; ++i) {
+    collisions +=
+        h.bucket(2 * i, kRange) == h.bucket(2 * i + 1, kRange) ? 1 : 0;
+  }
+  EXPECT_LT(collisions, kPairs * 8.0 / kRange + 20);
+}
+
+TEST(Hashing, CoinProbability) {
+  FourWiseHash h(55);
+  int heads = 0;
+  const int kDraws = 40000;
+  for (int x = 0; x < kDraws; ++x) heads += h.coin(x, 1, 4);
+  EXPECT_NEAR(heads, kDraws / 4, 6 * std::sqrt(kDraws));
+}
+
+TEST(Stats, SummaryBasics) {
+  const auto s = summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+}
+
+TEST(Stats, LogLogSlopeRecoversExponent) {
+  std::vector<double> x, y2, y0;
+  for (double v : {16.0, 32.0, 64.0, 128.0, 256.0}) {
+    x.push_back(v);
+    y2.push_back(3.0 * v * v);
+    y0.push_back(7.0);
+  }
+  EXPECT_NEAR(loglog_slope(x, y2), 2.0, 1e-9);
+  EXPECT_NEAR(loglog_slope(x, y0), 0.0, 1e-9);
+}
+
+TEST(Table, RendersAllCells) {
+  Table t({"a", "bb"});
+  t.add_row().cell(std::int64_t{1}).cell("x");
+  t.add_row().cell(2.5, 1).cell("yy");
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("bb"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+  EXPECT_NE(out.find("yy"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  EXPECT_THROW(SMPC_CHECK(false), CheckError);
+  try {
+    SMPC_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace streammpc

@@ -1,0 +1,275 @@
+// Tests for the connectivity extensions: bootstrap pre-computation (§1.1),
+// batch queries (à la DDK+20), component reporting, normalize_batch, and
+// adversarially structured topologies (bridges, long paths, grids) under
+// sliding-window streams.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "core/dynamic_connectivity.h"
+#include "graph/adjacency.h"
+#include "graph/generators.h"
+#include "graph/reference.h"
+#include "graph/streams.h"
+
+namespace streammpc {
+namespace {
+
+ConnectivityConfig cfg(std::uint64_t seed, unsigned banks = 10) {
+  ConnectivityConfig c;
+  c.sketch.banks = banks;
+  c.sketch.seed = seed;
+  return c;
+}
+
+// ---------------- normalize_batch ---------------------------------------------------
+
+TEST(NormalizeBatch, SplitsAndCancels) {
+  const Batch batch{insert_of(0, 1), erase_of(2, 3), insert_of(4, 5),
+                    erase_of(4, 5), erase_of(6, 7), insert_of(6, 7)};
+  const auto [ins, del] = normalize_batch(batch);
+  ASSERT_EQ(ins.size(), 1u);
+  EXPECT_EQ(ins[0].e, make_edge(0, 1));
+  ASSERT_EQ(del.size(), 1u);
+  EXPECT_EQ(del[0].e, make_edge(2, 3));
+}
+
+TEST(NormalizeBatch, TripleSequenceKeepsNet) {
+  // insert, delete, insert of the same edge: net insert.
+  const Batch batch{insert_of(1, 2), erase_of(1, 2), insert_of(1, 2)};
+  const auto [ins, del] = normalize_batch(batch);
+  ASSERT_EQ(ins.size(), 1u);
+  EXPECT_TRUE(del.empty());
+}
+
+TEST(NormalizeBatch, RejectsDoubleInsert) {
+  const Batch batch{insert_of(1, 2), insert_of(1, 2)};
+  EXPECT_THROW(normalize_batch(batch), CheckError);
+}
+
+TEST(NormalizeBatch, PreservesWeights) {
+  const Batch batch{insert_of(0, 1, 17)};
+  const auto [ins, del] = normalize_batch(batch);
+  ASSERT_EQ(ins.size(), 1u);
+  EXPECT_EQ(ins[0].w, 17);
+}
+
+// ---------------- bootstrap -----------------------------------------------------------
+
+TEST(Bootstrap, EquivalentToStreamedInserts) {
+  const VertexId n = 96;
+  Rng rng(31);
+  const auto edges = gen::gnm(n, 300, rng);
+
+  DynamicConnectivity boot(n, cfg(32));
+  boot.bootstrap(std::span<const Edge>(edges.data(), edges.size()));
+
+  DynamicConnectivity streamed(n, cfg(33));
+  for (const auto& b : gen::into_batches(gen::insert_stream(edges, rng), 32))
+    streamed.apply_batch(b);
+
+  for (VertexId v = 0; v < n; ++v)
+    EXPECT_EQ(boot.component_of(v), streamed.component_of(v));
+  boot.forest().validate();
+}
+
+TEST(Bootstrap, SupportsSubsequentDeletions) {
+  const VertexId n = 32;
+  Rng rng(34);
+  const auto edges = gen::connected_gnm(n, 80, rng);
+  DynamicConnectivity dc(n, cfg(35));
+  dc.bootstrap(std::span<const Edge>(edges.data(), edges.size()));
+  AdjGraph ref(n);
+  for (const Edge& e : edges) ref.insert_edge(e.u, e.v);
+
+  // Delete a third of the edges in batches and stay correct — this
+  // exercises the sketches that the bootstrap populated.
+  auto doomed = edges;
+  shuffle(doomed, rng);
+  doomed.resize(edges.size() / 3);
+  Batch del;
+  for (const Edge& e : doomed) del.push_back(erase_of(e.u, e.v));
+  for (const auto& b : gen::into_batches(del, 8)) {
+    dc.apply_batch(b);
+    ref.apply(b);
+  }
+  EXPECT_EQ(dc.num_components(), num_components(ref));
+  const auto labels = component_labels(ref);
+  for (VertexId v = 0; v < n; ++v) EXPECT_EQ(dc.component_of(v), labels[v]);
+}
+
+TEST(Bootstrap, ChargesLogRoundsNotPerBatch) {
+  const VertexId n = 1024;
+  Rng rng(36);
+  const auto edges = gen::gnm(n, 4000, rng);
+  mpc::MpcConfig mc;
+  mc.n = n;
+  mc.phi = 0.5;
+
+  mpc::Cluster boot_cluster(mc);
+  DynamicConnectivity boot(n, cfg(37, 6), &boot_cluster);
+  boot.bootstrap(std::span<const Edge>(edges.data(), edges.size()));
+
+  mpc::Cluster stream_cluster(mc);
+  DynamicConnectivity streamed(n, cfg(38, 6), &stream_cluster);
+  for (const auto& b : gen::into_batches(gen::insert_stream(edges, rng), 32))
+    streamed.apply_batch(b);
+
+  EXPECT_LT(boot_cluster.rounds() * 4, stream_cluster.rounds())
+      << "bootstrap must be far cheaper than streaming m/batch phases";
+}
+
+TEST(Bootstrap, RejectsNonFreshStructure) {
+  DynamicConnectivity dc(8, cfg(39));
+  dc.apply_batch({insert_of(0, 1)});
+  const std::vector<Edge> edges{make_edge(2, 3)};
+  EXPECT_THROW(dc.bootstrap(std::span<const Edge>(edges.data(), 1)),
+               CheckError);
+}
+
+// ---------------- batch queries and component reporting -------------------------------
+
+TEST(BatchQuery, AnswersMatchSingleQueries) {
+  const VertexId n = 64;
+  Rng rng(40);
+  DynamicConnectivity dc(n, cfg(41));
+  const auto edges = gen::gnm(n, 100, rng);
+  Batch ins;
+  for (const Edge& e : edges) ins.push_back(Update{UpdateType::kInsert, e, 1});
+  for (const auto& b : gen::into_batches(ins, 16)) dc.apply_batch(b);
+
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (int i = 0; i < 40; ++i) {
+    pairs.emplace_back(static_cast<VertexId>(rng.below(n)),
+                       static_cast<VertexId>(rng.below(n)));
+  }
+  const auto answers = dc.batch_query(
+      std::span<const std::pair<VertexId, VertexId>>(pairs.data(),
+                                                     pairs.size()));
+  ASSERT_EQ(answers.size(), pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(answers[i], dc.same_component(pairs[i].first, pairs[i].second));
+  }
+}
+
+TEST(BatchQuery, CostsConstantRounds) {
+  const VertexId n = 256;
+  mpc::MpcConfig mc;
+  mc.n = n;
+  mc.phi = 0.5;
+  mpc::Cluster cluster(mc);
+  DynamicConnectivity dc(n, cfg(42, 6), &cluster);
+  dc.apply_batch({insert_of(0, 1), insert_of(1, 2)});
+  std::vector<std::pair<VertexId, VertexId>> pairs(20, {0, 2});
+  const auto before = cluster.rounds();
+  (void)dc.batch_query(std::span<const std::pair<VertexId, VertexId>>(
+      pairs.data(), pairs.size()));
+  EXPECT_LE(cluster.rounds() - before, 4u);
+}
+
+TEST(Components, ListsMatchLabels) {
+  const VertexId n = 24;
+  DynamicConnectivity dc(n, cfg(43));
+  dc.apply_batch({insert_of(0, 1), insert_of(1, 2), insert_of(5, 6),
+                  insert_of(10, 11)});
+  auto comps = dc.components();
+  // Every vertex appears exactly once, grouped consistently with labels.
+  std::vector<int> seen(n, 0);
+  for (const auto& comp : comps) {
+    ASSERT_FALSE(comp.empty());
+    const VertexId label = dc.component_of(comp.front());
+    for (const VertexId v : comp) {
+      EXPECT_EQ(dc.component_of(v), label);
+      ++seen[v];
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) EXPECT_EQ(seen[v], 1);
+  EXPECT_EQ(comps.size(), dc.num_components());
+}
+
+// ---------------- adversarial topologies under structured streams ---------------------
+
+TEST(Topologies, LongPathBridgeDeletions) {
+  // Every edge of a path is a bridge: each deletion must split, and there
+  // is never a replacement (stress the no-replacement branch).
+  const VertexId n = 64;
+  DynamicConnectivity dc(n, cfg(44));
+  Batch ins;
+  for (const Edge& e : gen::path_graph(n))
+    ins.push_back(Update{UpdateType::kInsert, e, 1});
+  for (const auto& b : gen::into_batches(ins, 16)) dc.apply_batch(b);
+  ASSERT_EQ(dc.num_components(), 1u);
+  // Delete every third edge in one batch.
+  Batch del;
+  for (VertexId i = 0; i + 1 < n; i += 3)
+    del.push_back(erase_of(i, i + 1));
+  dc.apply_batch(del);
+  EXPECT_EQ(dc.num_components(), 1u + del.size());
+  EXPECT_EQ(dc.stats().replacements_found, 0u);
+}
+
+TEST(Topologies, CycleAlwaysReconnects) {
+  // Deleting any single edge of a cycle must always find the unique
+  // replacement (the opposite arc).
+  const VertexId n = 48;
+  DynamicConnectivity dc(n, cfg(45));
+  Batch ins;
+  for (const Edge& e : gen::cycle_graph(n))
+    ins.push_back(Update{UpdateType::kInsert, e, 1});
+  for (const auto& b : gen::into_batches(ins, 12)) dc.apply_batch(b);
+  AdjGraph ref(n);
+  for (const Edge& e : gen::cycle_graph(n)) ref.insert_edge(e.u, e.v);
+  // Delete 8 single tree edges, one batch each.
+  Rng rng(46);
+  for (int round = 0; round < 8; ++round) {
+    const auto forest = dc.spanning_forest();
+    const Edge e = forest[rng.below(forest.size())];
+    dc.apply_batch({Update{UpdateType::kDelete, e, 1}});
+    ref.erase_edge(e.u, e.v);
+    ASSERT_EQ(dc.num_components(), num_components(ref)) << "round " << round;
+    // Re-insert to restore the cycle.
+    dc.apply_batch({Update{UpdateType::kInsert, e, 1}});
+    ref.insert_edge(e.u, e.v);
+  }
+}
+
+TEST(Topologies, GridUnderSlidingWindow) {
+  const VertexId rows = 8, cols = 8;
+  const VertexId n = rows * cols;
+  Rng rng(47);
+  auto edges = gen::grid_graph(rows, cols);
+  shuffle(edges, rng);
+  DynamicConnectivity dc(n, cfg(48));
+  AdjGraph ref(n);
+  for (const auto& b : gen::sliding_window_stream(edges, 60, 10)) {
+    dc.apply_batch(b);
+    ref.apply(b);
+    ASSERT_EQ(dc.num_components(), num_components(ref));
+  }
+  const auto labels = component_labels(ref);
+  for (VertexId v = 0; v < n; ++v) EXPECT_EQ(dc.component_of(v), labels[v]);
+}
+
+TEST(Topologies, StarCenterChurn) {
+  // Deleting star edges isolates leaves; re-inserting merges them back.
+  const VertexId n = 40;
+  DynamicConnectivity dc(n, cfg(49));
+  Batch ins;
+  for (const Edge& e : gen::star_graph(n))
+    ins.push_back(Update{UpdateType::kInsert, e, 1});
+  dc.apply_batch(ins);
+  ASSERT_EQ(dc.num_components(), 1u);
+  Batch del;
+  for (VertexId i = 1; i < n; i += 2) del.push_back(erase_of(0, i));
+  dc.apply_batch(del);
+  EXPECT_EQ(dc.num_components(), 1u + del.size());
+  Batch reinsert;
+  for (const Update& u : del)
+    reinsert.push_back(Update{UpdateType::kInsert, u.e, 1});
+  dc.apply_batch(reinsert);
+  EXPECT_EQ(dc.num_components(), 1u);
+}
+
+}  // namespace
+}  // namespace streammpc

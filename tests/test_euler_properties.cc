@@ -1,0 +1,233 @@
+// Property suites for the Euler-tour forest: structured topologies, deep
+// interleavings of batch and single operations against a DSU/BFS oracle,
+// and canonical-form invariants (the pair structure Split relies on).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+
+#include "common/random.h"
+#include "euler/tour_forest.h"
+#include "graph/adjacency.h"
+#include "graph/generators.h"
+#include "graph/reference.h"
+
+namespace streammpc {
+namespace {
+
+std::vector<Edge> sorted_path(const AdjGraph& forest, VertexId u, VertexId v) {
+  std::vector<VertexId> parent(forest.n(), kNoVertex);
+  std::queue<VertexId> q;
+  q.push(u);
+  parent[u] = u;
+  while (!q.empty()) {
+    const VertexId x = q.front();
+    q.pop();
+    for (const auto& [y, w] : forest.neighbors(x)) {
+      if (parent[y] == kNoVertex) {
+        parent[y] = x;
+        q.push(y);
+      }
+    }
+  }
+  std::vector<Edge> path;
+  for (VertexId x = v; x != u; x = parent[x])
+    path.push_back(make_edge(parent[x], x));
+  std::sort(path.begin(), path.end());
+  return path;
+}
+
+// ---------------- structured topologies ------------------------------------------
+
+enum class Topology { kPath, kStar, kBinary, kCaterpillar, kBroom };
+
+std::vector<Edge> build_topology(Topology t, VertexId n) {
+  std::vector<Edge> edges;
+  switch (t) {
+    case Topology::kPath:
+      return gen::path_graph(n);
+    case Topology::kStar:
+      return gen::star_graph(n);
+    case Topology::kBinary:
+      for (VertexId i = 1; i < n; ++i) edges.push_back(make_edge((i - 1) / 2, i));
+      return edges;
+    case Topology::kCaterpillar: {
+      // Spine 0..n/2-1, a leg hanging off every spine vertex.
+      const VertexId spine = n / 2;
+      for (VertexId i = 0; i + 1 < spine; ++i) edges.push_back(Edge{i, static_cast<VertexId>(i + 1)});
+      for (VertexId i = 0; spine + i < n; ++i)
+        edges.push_back(make_edge(i % spine, spine + i));
+      return edges;
+    }
+    case Topology::kBroom:
+      // Path of n/2 then a fan at the end.
+      for (VertexId i = 0; i + 1 < n / 2; ++i)
+        edges.push_back(Edge{i, static_cast<VertexId>(i + 1)});
+      for (VertexId i = n / 2; i < n; ++i)
+        edges.push_back(make_edge(n / 2 - 1, i));
+      return edges;
+  }
+  return edges;
+}
+
+class TopologyTest
+    : public ::testing::TestWithParam<std::tuple<Topology, VertexId>> {};
+
+TEST_P(TopologyTest, BuildRerootCutEverything) {
+  const auto [topology, n] = GetParam();
+  const auto edges = build_topology(topology, n);
+  EulerTourForest f(n);
+  AdjGraph ref(n);
+  f.batch_link(edges);
+  for (const Edge& e : edges) ref.insert_edge(e.u, e.v);
+  f.validate();
+  EXPECT_EQ(f.num_trees(), 1u);
+
+  // Re-root at every vertex; validate structure and paths.
+  Rng rng(std::get<1>(GetParam()) * 131);
+  for (VertexId v = 0; v < n; v += std::max<VertexId>(1, n / 7)) {
+    f.make_root(v);
+    f.validate();
+    const VertexId other = static_cast<VertexId>(rng.below(n));
+    if (other != v) {
+      auto path = f.identify_path(v, other);
+      std::sort(path.begin(), path.end());
+      EXPECT_EQ(path, sorted_path(ref, v, other));
+    }
+  }
+
+  // Cut every edge in random batches until singletons remain.
+  auto cuts = edges;
+  shuffle(cuts, rng);
+  std::size_t offset = 0;
+  while (offset < cuts.size()) {
+    const std::size_t k = std::min<std::size_t>(5, cuts.size() - offset);
+    f.batch_cut(std::span<const Edge>(cuts.data() + offset, k));
+    offset += k;
+    f.validate();
+  }
+  EXPECT_EQ(f.num_trees(), static_cast<std::size_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TopologyTest,
+    ::testing::Combine(::testing::Values(Topology::kPath, Topology::kStar,
+                                         Topology::kBinary,
+                                         Topology::kCaterpillar,
+                                         Topology::kBroom),
+                       ::testing::Values<VertexId>(2, 3, 9, 32, 77)));
+
+// ---------------- deep interleaved fuzz -------------------------------------------
+
+class InterleavedFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InterleavedFuzz, BatchAndSingleOpsAgainstOracle) {
+  Rng rng(GetParam());
+  const VertexId n = 48;
+  EulerTourForest f(n);
+  AdjGraph ref(n);
+  Dsu dsu(n);  // mirrors connectivity for pick decisions
+
+  auto rebuild_dsu = [&] {
+    Dsu fresh(n);
+    for (const auto& we : ref.edges()) fresh.unite(we.e.u, we.e.v);
+    return fresh;
+  };
+
+  for (int step = 0; step < 120; ++step) {
+    const int action = static_cast<int>(rng.below(4));
+    if (action == 0) {
+      // Batch link of up to 6 fresh forest edges.
+      std::vector<Edge> links;
+      Dsu current = rebuild_dsu();
+      for (int i = 0; i < 6; ++i) {
+        const VertexId u = static_cast<VertexId>(rng.below(n));
+        const VertexId v = static_cast<VertexId>(rng.below(n));
+        if (u == v) continue;
+        if (current.unite(u, v)) links.push_back(make_edge(u, v));
+      }
+      f.batch_link(links);
+      for (const Edge& e : links) ref.insert_edge(e.u, e.v);
+    } else if (action == 1) {
+      // Batch cut of up to 4 existing tree edges.
+      std::vector<Edge> all(f.tree_edges().begin(), f.tree_edges().end());
+      std::sort(all.begin(), all.end());
+      shuffle(all, rng);
+      std::vector<Edge> cuts(
+          all.begin(),
+          all.begin() + static_cast<std::ptrdiff_t>(
+                            std::min<std::size_t>(4, all.size())));
+      f.batch_cut(cuts);
+      for (const Edge& e : cuts) ref.erase_edge(e.u, e.v);
+    } else if (action == 2) {
+      f.make_root(static_cast<VertexId>(rng.below(n)));
+    } else {
+      // Path probe between two random connected vertices.
+      const VertexId u = static_cast<VertexId>(rng.below(n));
+      const VertexId v = static_cast<VertexId>(rng.below(n));
+      if (f.same_tree(u, v) && u != v) {
+        auto path = f.identify_path(u, v);
+        std::sort(path.begin(), path.end());
+        ASSERT_EQ(path, sorted_path(ref, u, v)) << "step " << step;
+      }
+    }
+    if (step % 15 == 0) f.validate();
+  }
+  f.validate();
+  const auto labels = component_labels(ref);
+  for (VertexId a = 0; a < n; ++a)
+    for (VertexId b = a + 1; b < n; ++b)
+      ASSERT_EQ(f.same_tree(a, b), labels[a] == labels[b]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterleavedFuzz,
+                         ::testing::Values(1001, 1002, 1003, 1004, 1005,
+                                           1006, 1007, 1008));
+
+// ---------------- canonical-form invariants ----------------------------------------
+
+TEST(EulerCanonical, PairStructureSurvivesHeavyRerooting) {
+  Rng rng(2001);
+  const VertexId n = 40;
+  EulerTourForest f(n);
+  f.batch_link(gen::random_tree(n, rng));
+  for (int i = 0; i < 100; ++i) {
+    f.make_root(static_cast<VertexId>(rng.below(n)));
+    const auto& tour = f.tour_sequence(0);
+    for (std::size_t j = 0; j + 1 < tour.size(); j += 2)
+      ASSERT_NE(tour[j], tour[j + 1]) << "stutter at even position";
+  }
+  f.validate();
+}
+
+TEST(EulerCanonical, SpliceAtRootTerminalStaysCanonical) {
+  // Regression for the DESIGN.md §3 canonical-form fix: batch link where
+  // the parent terminal is the root of its tour.
+  EulerTourForest f(8);
+  f.link(0, 1);       // tree rooted at 0 after link
+  f.make_root(0);
+  // Attach children at the root terminal 0 plus at the non-root 1.
+  const std::vector<Edge> links{make_edge(0, 2), make_edge(0, 3),
+                                make_edge(1, 4)};
+  f.batch_link(links);
+  f.validate();
+  // Now split them all back off in one batch.
+  f.batch_cut(links);
+  f.validate();
+  // {0,1} stays joined; 2,3,4 detached; 5,6,7 were always singletons.
+  EXPECT_EQ(f.num_trees(), 7u);
+}
+
+TEST(EulerCanonical, TwoVertexTreeShapes) {
+  EulerTourForest f(2);
+  f.link(0, 1);
+  EXPECT_EQ(f.tour_sequence(0).size(), 4u);
+  f.make_root(1);
+  f.validate();
+  EXPECT_EQ(f.tour_sequence(1).front(), 1u);
+  f.cut(0, 1);
+  f.validate();
+}
+
+}  // namespace
+}  // namespace streammpc

@@ -1,0 +1,288 @@
+// Tests for graph types, adjacency oracle, reference algorithms,
+// generators, and update-stream generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "graph/adjacency.h"
+#include "graph/generators.h"
+#include "graph/reference.h"
+#include "graph/streams.h"
+#include "graph/types.h"
+
+namespace streammpc {
+namespace {
+
+TEST(Types, MakeEdgeNormalizes) {
+  EXPECT_EQ(make_edge(5, 2), (Edge{2, 5}));
+  EXPECT_EQ(make_edge(2, 5), (Edge{2, 5}));
+  EXPECT_THROW(make_edge(3, 3), CheckError);
+}
+
+TEST(Types, EdgeHashSpreads) {
+  EdgeHash h;
+  std::set<std::size_t> values;
+  for (VertexId u = 0; u < 30; ++u)
+    for (VertexId v = u + 1; v < 30; ++v) values.insert(h(Edge{u, v}));
+  EXPECT_GE(values.size(), 430u);  // essentially no collisions
+}
+
+TEST(AdjGraph, InsertEraseSemantics) {
+  AdjGraph g(5);
+  EXPECT_TRUE(g.insert_edge(0, 1, 7));
+  EXPECT_FALSE(g.insert_edge(1, 0, 9)) << "duplicate insert must fail";
+  EXPECT_EQ(g.m(), 1u);
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_EQ(g.weight(0, 1), 7);
+  EXPECT_TRUE(g.erase_edge(0, 1));
+  EXPECT_FALSE(g.erase_edge(0, 1));
+  EXPECT_EQ(g.m(), 0u);
+}
+
+TEST(AdjGraph, ApplyValidatesStream) {
+  AdjGraph g(4);
+  g.apply(insert_of(0, 1));
+  EXPECT_THROW(g.apply(insert_of(0, 1)), CheckError);
+  g.apply(erase_of(0, 1));
+  EXPECT_THROW(g.apply(erase_of(0, 1)), CheckError);
+}
+
+TEST(Dsu, UniteAndCount) {
+  Dsu dsu(6);
+  EXPECT_EQ(dsu.num_sets(), 6u);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_TRUE(dsu.unite(1, 2));
+  EXPECT_FALSE(dsu.unite(0, 2));
+  EXPECT_EQ(dsu.num_sets(), 4u);
+  EXPECT_TRUE(dsu.same(0, 2));
+  EXPECT_FALSE(dsu.same(0, 3));
+  EXPECT_EQ(dsu.size_of(1), 3u);
+}
+
+TEST(Reference, ComponentLabelsAreMinVertex) {
+  AdjGraph g(7);
+  g.insert_edge(1, 4);
+  g.insert_edge(4, 6);
+  g.insert_edge(2, 3);
+  const auto labels = component_labels(g);
+  EXPECT_EQ(labels[1], 1u);
+  EXPECT_EQ(labels[4], 1u);
+  EXPECT_EQ(labels[6], 1u);
+  EXPECT_EQ(labels[2], 2u);
+  EXPECT_EQ(labels[3], 2u);
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[5], 5u);
+  EXPECT_EQ(num_components(g), 4u);
+}
+
+TEST(Reference, SpanningForestSizeAndValidity) {
+  Rng rng(5);
+  AdjGraph g(40);
+  for (const Edge& e : gen::connected_gnm(40, 100, rng))
+    g.insert_edge(e.u, e.v);
+  const auto forest = spanning_forest(g);
+  EXPECT_EQ(forest.size(), 39u);
+  for (const Edge& e : forest) EXPECT_TRUE(g.has_edge(e.u, e.v));
+  // Forest is acyclic and spanning.
+  Dsu dsu(40);
+  for (const Edge& e : forest) EXPECT_TRUE(dsu.unite(e.u, e.v));
+  EXPECT_EQ(dsu.num_sets(), 1u);
+}
+
+TEST(Reference, KruskalAgainstBruteForceTinyGraphs) {
+  // Exhaustive check on all spanning trees of a small weighted graph.
+  AdjGraph g(4);
+  g.insert_edge(0, 1, 4);
+  g.insert_edge(1, 2, 2);
+  g.insert_edge(2, 3, 5);
+  g.insert_edge(0, 3, 1);
+  g.insert_edge(0, 2, 3);
+  const auto [w, forest] = kruskal_msf(g);
+  EXPECT_EQ(w, 1 + 2 + 3);  // edges {0,3}, {1,2}, {0,2}
+  EXPECT_EQ(forest.size(), 3u);
+}
+
+TEST(Reference, KruskalDisconnected) {
+  AdjGraph g(6);
+  g.insert_edge(0, 1, 5);
+  g.insert_edge(3, 4, 2);
+  const auto [w, forest] = kruskal_msf(g);
+  EXPECT_EQ(w, 7);
+  EXPECT_EQ(forest.size(), 2u);
+}
+
+TEST(Reference, BipartiteDetection) {
+  AdjGraph even_cycle(6);
+  for (const Edge& e : gen::cycle_graph(6)) even_cycle.insert_edge(e.u, e.v);
+  EXPECT_TRUE(is_bipartite(even_cycle));
+
+  AdjGraph odd_cycle(5);
+  for (const Edge& e : gen::cycle_graph(5)) odd_cycle.insert_edge(e.u, e.v);
+  EXPECT_FALSE(is_bipartite(odd_cycle));
+
+  AdjGraph empty(4);
+  EXPECT_TRUE(is_bipartite(empty));
+}
+
+// ---------------- generators ----------------------------------------------------
+
+TEST(Generators, RandomTreeIsSpanningTree) {
+  Rng rng(6);
+  for (VertexId n : {1u, 2u, 10u, 100u}) {
+    const auto edges = gen::random_tree(n, rng);
+    EXPECT_EQ(edges.size(), static_cast<std::size_t>(n) - 1);
+    Dsu dsu(n);
+    for (const Edge& e : edges) EXPECT_TRUE(dsu.unite(e.u, e.v));
+    EXPECT_EQ(dsu.num_sets(), 1u);
+  }
+}
+
+TEST(Generators, GnmDistinctAndCounted) {
+  Rng rng(7);
+  const auto edges = gen::gnm(30, 200, rng);
+  EXPECT_EQ(edges.size(), 200u);
+  std::unordered_set<Edge, EdgeHash> set(edges.begin(), edges.end());
+  EXPECT_EQ(set.size(), 200u);
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.u, e.v);
+    EXPECT_LT(e.v, 30u);
+  }
+}
+
+TEST(Generators, GnmRejectsTooMany) {
+  Rng rng(8);
+  EXPECT_THROW(gen::gnm(4, 7, rng), CheckError);
+}
+
+TEST(Generators, ConnectedGnmIsConnected) {
+  Rng rng(9);
+  const auto edges = gen::connected_gnm(50, 80, rng);
+  EXPECT_EQ(edges.size(), 80u);
+  AdjGraph g(50);
+  for (const Edge& e : edges) g.insert_edge(e.u, e.v);
+  EXPECT_EQ(num_components(g), 1u);
+}
+
+TEST(Generators, StructuredGraphShapes) {
+  EXPECT_EQ(gen::path_graph(5).size(), 4u);
+  EXPECT_EQ(gen::cycle_graph(5).size(), 5u);
+  EXPECT_EQ(gen::star_graph(5).size(), 4u);
+  EXPECT_EQ(gen::complete_graph(5).size(), 10u);
+  EXPECT_EQ(gen::grid_graph(3, 4).size(), 3 * 3 + 2 * 4);
+  EXPECT_EQ(gen::complete_bipartite(3, 4).size(), 12u);
+}
+
+TEST(Generators, RandomBipartiteRespectsSides) {
+  Rng rng(10);
+  const auto edges = gen::random_bipartite(10, 12, 50, rng);
+  EXPECT_EQ(edges.size(), 50u);
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.u, 10u);
+    EXPECT_GE(e.v, 10u);
+    EXPECT_LT(e.v, 22u);
+  }
+}
+
+TEST(Generators, PreferentialAttachmentConnected) {
+  Rng rng(11);
+  const auto edges = gen::preferential_attachment(64, 2, rng);
+  AdjGraph g(64);
+  for (const Edge& e : edges) g.insert_edge(e.u, e.v);
+  EXPECT_EQ(num_components(g), 1u);
+}
+
+TEST(Generators, PlantedMatchingContainsPerfectMatching) {
+  Rng rng(12);
+  const auto edges = gen::planted_matching(20, 30, rng);
+  std::unordered_set<Edge, EdgeHash> set(edges.begin(), edges.end());
+  for (VertexId i = 0; i < 20; i += 2) {
+    EXPECT_TRUE(set.count(Edge{i, static_cast<VertexId>(i + 1)}));
+  }
+  EXPECT_EQ(edges.size(), 10u + 30u);
+}
+
+TEST(Generators, DistinctWeightsAreDistinct) {
+  Rng rng(13);
+  const auto edges = gen::gnm(30, 100, rng);
+  const auto weighted = gen::with_random_weights(edges, 1, 10000, rng, true);
+  std::set<Weight> weights;
+  for (const auto& we : weighted) weights.insert(we.w);
+  EXPECT_EQ(weights.size(), 100u);
+}
+
+// ---------------- streams -------------------------------------------------------
+
+TEST(Streams, InsertStreamIsValidAndComplete) {
+  Rng rng(14);
+  const auto edges = gen::gnm(20, 60, rng);
+  const auto stream = gen::insert_stream(edges, rng);
+  EXPECT_EQ(stream.size(), 60u);
+  AdjGraph g(20);
+  for (const Update& u : stream) g.apply(u);  // throws on invalid stream
+  EXPECT_EQ(g.m(), 60u);
+}
+
+TEST(Streams, IntoBatchesCoversStream) {
+  Rng rng(15);
+  const auto stream = gen::insert_stream(gen::gnm(20, 55, rng), rng);
+  const auto batches = gen::into_batches(stream, 10);
+  EXPECT_EQ(batches.size(), 6u);
+  EXPECT_EQ(batches.back().size(), 5u);
+  std::size_t total = 0;
+  for (const auto& b : batches) total += b.size();
+  EXPECT_EQ(total, 55u);
+}
+
+TEST(Streams, ChurnStreamIsValid) {
+  Rng rng(16);
+  gen::ChurnOptions opt;
+  opt.n = 30;
+  opt.initial_edges = 60;
+  opt.num_batches = 40;
+  opt.batch_size = 8;
+  opt.delete_fraction = 0.45;
+  const auto batches = gen::churn_stream(opt, rng);
+  AdjGraph g(30);
+  std::size_t deletes = 0;
+  for (const auto& b : batches) {
+    for (const Update& u : b) {
+      g.apply(u);
+      deletes += u.type == UpdateType::kDelete;
+    }
+  }
+  EXPECT_GT(deletes, 40u) << "churn stream should actually delete edges";
+}
+
+TEST(Streams, SlidingWindowKeepsWindowSize) {
+  Rng rng(17);
+  const auto edges = gen::gnm(40, 120, rng);
+  const auto batches = gen::sliding_window_stream(edges, 30, 10);
+  AdjGraph g(40);
+  for (const auto& b : batches)
+    for (const Update& u : b) g.apply(u);
+  // After the full stream, the last `window` edges remain.
+  EXPECT_EQ(g.m(), 30u);
+}
+
+TEST(Streams, ChurnRespectsWeightRange) {
+  Rng rng(18);
+  gen::ChurnOptions opt;
+  opt.n = 16;
+  opt.initial_edges = 20;
+  opt.num_batches = 10;
+  opt.batch_size = 5;
+  opt.wmin = 3;
+  opt.wmax = 9;
+  for (const auto& b : gen::churn_stream(opt, rng)) {
+    for (const Update& u : b) {
+      EXPECT_GE(u.w, 3);
+      EXPECT_LE(u.w, 9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streammpc

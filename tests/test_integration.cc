@@ -1,0 +1,140 @@
+// End-to-end integration tests: all problem layers driven by the same
+// update stream on one accounted MPC cluster, matching the deployment a
+// downstream user would run.
+#include <gtest/gtest.h>
+
+#include "bipartite/bipartiteness.h"
+#include "common/random.h"
+#include "core/dynamic_connectivity.h"
+#include "graph/adjacency.h"
+#include "graph/generators.h"
+#include "graph/matching_reference.h"
+#include "graph/reference.h"
+#include "graph/streams.h"
+#include "matching/dynamic_matching.h"
+#include "matching/greedy_insertion_matching.h"
+#include "msf/exact_insertion_msf.h"
+
+namespace streammpc {
+namespace {
+
+TEST(Integration, AllLayersOnOneClusterStayCoherent) {
+  const VertexId n = 64;
+  mpc::MpcConfig mc;
+  mc.n = n;
+  mc.phi = 0.5;
+  mpc::Cluster cluster(mc);
+
+  ConnectivityConfig conn;
+  conn.sketch.banks = 10;
+  conn.sketch.seed = 7001;
+  DynamicConnectivity dc(n, conn, &cluster);
+
+  DynamicMatchingConfig dmc;
+  dmc.alpha = 2;
+  dmc.seed = 7002;
+  DynamicApproxMatching matching(n, dmc, &cluster);
+
+  AdjGraph ref(n);
+  Rng rng(7003);
+  gen::ChurnOptions opt;
+  opt.n = n;
+  opt.initial_edges = 150;
+  opt.num_batches = 15;
+  opt.batch_size = 8;
+  opt.delete_fraction = 0.4;
+  for (const auto& batch : gen::churn_stream(opt, rng)) {
+    dc.apply_batch(batch);
+    matching.apply_batch(batch);
+    ref.apply(batch);
+  }
+
+  EXPECT_EQ(dc.num_components(), num_components(ref));
+  EXPECT_TRUE(cluster.ok()) << cluster.report();
+  EXPECT_GT(cluster.rounds(), 0u);
+  EXPECT_GT(cluster.phases(), 0u);
+
+  // Matching edges must be live and vertex-disjoint.
+  std::vector<char> used(n, 0);
+  for (const Edge& e : matching.matching()) {
+    EXPECT_TRUE(ref.has_edge(e.u, e.v));
+    EXPECT_FALSE(used[e.u]);
+    EXPECT_FALSE(used[e.v]);
+    used[e.u] = used[e.v] = 1;
+  }
+}
+
+TEST(Integration, InsertOnlyPipelineMsfPlusMatching) {
+  const VertexId n = 96;
+  Rng rng(7100);
+  const auto weighted = gen::with_random_weights(
+      gen::connected_gnm(n, 300, rng), 1, 1000, rng, true);
+
+  ExactInsertionMsf msf(n);
+  GreedyInsertionMatching greedy(n, /*alpha=*/4);
+  AdjGraph ref(n);
+  for (const auto& b :
+       gen::into_batches(gen::insert_stream(weighted, rng), 24)) {
+    msf.apply_batch(b);
+    Batch unweighted;
+    for (const Update& u : b) unweighted.push_back(u);
+    greedy.apply_batch(unweighted);
+    ref.apply(b);
+  }
+  const auto [kw, kforest] = kruskal_msf(ref);
+  EXPECT_EQ(msf.total_weight(), kw);
+  EXPECT_EQ(msf.num_components(), 1u);
+  const std::size_t opt = blossom_maximum_matching(ref);
+  EXPECT_GE(greedy.size() * 8, opt);
+}
+
+TEST(Integration, BipartitenessAndConnectivityAgreeOnComponents) {
+  const VertexId n = 32;
+  Rng rng(7200);
+  BipartitenessConfig bc;
+  bc.connectivity.sketch.banks = 10;
+  bc.seed = 7201;
+  DynamicBipartiteness bip(n, bc);
+  AdjGraph ref(n);
+  gen::ChurnOptions opt;
+  opt.n = n;
+  opt.initial_edges = 50;
+  opt.num_batches = 12;
+  opt.batch_size = 6;
+  opt.delete_fraction = 0.4;
+  for (const auto& batch : gen::churn_stream(opt, rng)) {
+    bip.apply_batch(batch);
+    ref.apply(batch);
+    ASSERT_EQ(bip.num_components(), num_components(ref));
+    ASSERT_EQ(bip.is_bipartite(), is_bipartite(ref));
+  }
+}
+
+TEST(Integration, QueryRoundsAreConstant) {
+  // §1.1: queries are O(1) rounds because the solutions are maintained —
+  // reading them requires no additional cluster rounds at all.
+  const VertexId n = 128;
+  mpc::MpcConfig mc;
+  mc.n = n;
+  mc.phi = 0.5;
+  mpc::Cluster cluster(mc);
+  ConnectivityConfig conn;
+  conn.sketch.banks = 6;
+  conn.sketch.seed = 7301;
+  DynamicConnectivity dc(n, conn, &cluster);
+  Rng rng(7302);
+  const auto edges = gen::connected_gnm(n, 300, rng);
+  for (const auto& b : gen::into_batches(gen::insert_stream(edges, rng), 32))
+    dc.apply_batch(b);
+
+  const auto rounds_before = cluster.rounds();
+  (void)dc.spanning_forest();
+  (void)dc.num_components();
+  (void)dc.component_of(5);
+  (void)dc.same_component(3, 9);
+  EXPECT_EQ(cluster.rounds(), rounds_before)
+      << "maintained-solution queries must not spend extra rounds";
+}
+
+}  // namespace
+}  // namespace streammpc

@@ -1,0 +1,354 @@
+// Tests for the matching layers (§8): insertion-only greedy capped
+// matching (Thm 8.1), the AKLY sparsifier + batch-dynamic maximal matching
+// (Thm 8.2), and the size estimators (Thms 8.5/8.6).  Approximation ratios
+// are checked against exact reference matchings.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/random.h"
+#include "graph/adjacency.h"
+#include "graph/generators.h"
+#include "graph/matching_reference.h"
+#include "graph/streams.h"
+#include "matching/akly_sparsifier.h"
+#include "matching/batch_maximal_matching.h"
+#include "matching/dynamic_matching.h"
+#include "matching/greedy_insertion_matching.h"
+#include "matching/size_estimator.h"
+
+namespace streammpc {
+namespace {
+
+void expect_valid_matching(const std::vector<Edge>& m, const AdjGraph& ref,
+                           const char* where, bool edges_must_exist = true) {
+  std::unordered_set<VertexId> used;
+  for (const Edge& e : m) {
+    if (edges_must_exist) {
+      EXPECT_TRUE(ref.has_edge(e.u, e.v))
+          << where << ": matched edge not in graph";
+    }
+    EXPECT_TRUE(used.insert(e.u).second) << where << ": vertex reused";
+    EXPECT_TRUE(used.insert(e.v).second) << where << ": vertex reused";
+  }
+}
+
+// ---------------- greedy insertion-only (Thm 8.1) -----------------------------------
+
+TEST(GreedyMatching, CapIsRespected) {
+  GreedyInsertionMatching m(100, /*alpha=*/10);  // cap = 5
+  EXPECT_EQ(m.cap(), 5u);
+  std::vector<Edge> edges;
+  for (VertexId i = 0; i < 40; i += 2) edges.push_back(Edge{i, static_cast<VertexId>(i + 1)});
+  m.apply_insert_batch(edges);
+  EXPECT_EQ(m.size(), 5u);
+  EXPECT_TRUE(m.saturated());
+}
+
+TEST(GreedyMatching, MaximalWhenBelowCap) {
+  Rng rng(41);
+  const VertexId n = 40;
+  GreedyInsertionMatching m(n, /*alpha=*/1);  // cap = 20 = n/2: never binds
+  AdjGraph ref(n);
+  const auto edges = gen::gnm(n, 100, rng);
+  for (const auto& b : gen::into_batches(gen::insert_stream(edges, rng), 16)) {
+    m.apply_batch(b);
+    ref.apply(b);
+  }
+  expect_valid_matching(m.matching(), ref, "greedy");
+  // Maximality when the cap never bound.
+  std::unordered_set<VertexId> used;
+  for (const Edge& e : m.matching()) {
+    used.insert(e.u);
+    used.insert(e.v);
+  }
+  for (const auto& we : ref.edges())
+    EXPECT_TRUE(used.count(we.e.u) || used.count(we.e.v));
+}
+
+class GreedyAlphaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GreedyAlphaTest, ApproximationRatioHolds) {
+  const double alpha = GetParam();
+  Rng rng(42);
+  const VertexId n = 64;
+  // Planted perfect matching: OPT = n/2.
+  const auto edges = gen::planted_matching(n, 80, rng);
+  GreedyInsertionMatching m(n, alpha);
+  AdjGraph ref(n);
+  for (const auto& b : gen::into_batches(gen::insert_stream(edges, rng), 16)) {
+    m.apply_batch(b);
+    ref.apply(b);
+  }
+  const std::size_t opt = blossom_maximum_matching(ref);
+  ASSERT_EQ(opt, static_cast<std::size_t>(n) / 2);
+  const double ratio = static_cast<double>(opt) / static_cast<double>(m.size());
+  EXPECT_LE(ratio, std::max(2.0, alpha) + 1e-9)
+      << "alpha=" << alpha << " |M|=" << m.size();
+  expect_valid_matching(m.matching(), ref, "greedy-alpha");
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, GreedyAlphaTest,
+                         ::testing::Values(1.0, 2.0, 4.0, 8.0, 16.0));
+
+TEST(GreedyMatching, MemoryShrinksWithAlpha) {
+  const VertexId n = 4096;
+  GreedyInsertionMatching coarse(n, 64), fine(n, 2);
+  std::vector<Edge> edges;
+  for (VertexId i = 0; i < n; i += 2)
+    edges.push_back(Edge{i, static_cast<VertexId>(i + 1)});
+  coarse.apply_insert_batch(edges);
+  fine.apply_insert_batch(edges);
+  EXPECT_LT(coarse.memory_words() * 8, fine.memory_words())
+      << "memory must scale ~n/alpha";
+}
+
+// ---------------- batch-dynamic maximal matching (NO21 proxy) ------------------------
+
+TEST(BatchMaximal, InsertOnlyStaysMaximal) {
+  BatchMaximalMatching mm;
+  mm.apply({}, {make_edge(0, 1), make_edge(1, 2), make_edge(2, 3)});
+  EXPECT_TRUE(mm.is_maximal());
+  EXPECT_GE(mm.size(), 1u);
+  EXPECT_EQ(mm.edge_count(), 3u);
+}
+
+TEST(BatchMaximal, DeletionTriggersRematch) {
+  BatchMaximalMatching mm;
+  // Path 0-1-2-3; matching must adapt when its edge dies.
+  mm.apply({}, {make_edge(0, 1), make_edge(1, 2), make_edge(2, 3)});
+  const auto before = mm.matching();
+  ASSERT_FALSE(before.empty());
+  mm.apply({before.front()}, {});
+  EXPECT_TRUE(mm.is_maximal());
+}
+
+TEST(BatchMaximal, FuzzMaximalityThroughChurn) {
+  Rng rng(43);
+  BatchMaximalMatching mm;
+  std::unordered_set<Edge, EdgeHash> live;
+  for (int step = 0; step < 200; ++step) {
+    std::vector<Edge> add, remove;
+    std::unordered_set<Edge, EdgeHash> touched;  // contract: removals are
+                                                 // applied before additions,
+                                                 // so one edge must not be
+                                                 // in both lists
+    for (int i = 0; i < 5; ++i) {
+      const VertexId u = static_cast<VertexId>(rng.below(30));
+      VertexId v = static_cast<VertexId>(rng.below(29));
+      if (v >= u) ++v;
+      const Edge e = make_edge(u, v);
+      if (!touched.insert(e).second) continue;
+      if (live.count(e)) {
+        if (rng.chance(0.6)) {
+          remove.push_back(e);
+          live.erase(e);
+        }
+      } else {
+        add.push_back(e);
+        live.insert(e);
+      }
+    }
+    mm.apply(remove, add);
+    ASSERT_TRUE(mm.is_maximal()) << "step " << step;
+    ASSERT_EQ(mm.edge_count(), live.size());
+  }
+}
+
+// ---------------- AKLY sparsifier -----------------------------------------------------
+
+TEST(AklySparsifier, GeometryMatchesPaper) {
+  AklyConfig c;
+  c.alpha = 4;
+  c.opt_guess = 64;
+  c.seed = 50;
+  AklySparsifier sp(128, c);
+  EXPECT_EQ(sp.beta(), 16u);   // OPT'/alpha
+  EXPECT_EQ(sp.gamma(), 4u);   // OPT'/alpha^2
+  EXPECT_LE(sp.active_pair_count(), sp.beta() * sp.gamma());
+  EXPECT_GE(sp.active_pair_count(), sp.gamma());
+}
+
+TEST(AklySparsifier, OutputsAreRealEdges) {
+  Rng rng(51);
+  const VertexId n = 64;
+  AklyConfig c;
+  c.alpha = 2;
+  c.opt_guess = n;
+  c.seed = 52;
+  AklySparsifier sp(n, c);
+  AdjGraph ref(n);
+  std::unordered_set<Edge, EdgeHash> in_h;
+  gen::ChurnOptions opt;
+  opt.n = n;
+  opt.initial_edges = 150;
+  opt.num_batches = 15;
+  opt.batch_size = 10;
+  opt.delete_fraction = 0.4;
+  for (const auto& batch : gen::churn_stream(opt, rng)) {
+    const auto delta = sp.apply_batch(batch);
+    ref.apply(batch);
+    for (const Edge& e : delta.remove) {
+      EXPECT_TRUE(in_h.count(e)) << "removed edge never added";
+      in_h.erase(e);
+    }
+    for (const Edge& e : delta.add) {
+      EXPECT_TRUE(in_h.insert(e).second) << "duplicate add";
+      EXPECT_TRUE(ref.has_edge(e.u, e.v)) << "sparsifier emitted ghost edge";
+    }
+  }
+  // current_h must agree with the accumulated deltas.
+  const auto h = sp.current_h();
+  EXPECT_EQ(h.size(), in_h.size());
+  for (const Edge& e : h) EXPECT_TRUE(in_h.count(e));
+}
+
+// ---------------- dynamic matching (Thm 8.2) ------------------------------------------
+
+DynamicMatchingConfig dyn_config(double alpha, std::uint64_t seed) {
+  DynamicMatchingConfig c;
+  c.alpha = alpha;
+  c.seed = seed;
+  return c;
+}
+
+TEST(DynamicMatching, GuessLadderCoversN) {
+  DynamicApproxMatching m(64, dyn_config(4, 60));
+  EXPECT_EQ(m.instances(), 7u);  // 64, 32, ..., 1
+}
+
+TEST(DynamicMatching, ValidAndNonTrivialOnPlantedGraph) {
+  Rng rng(61);
+  const VertexId n = 64;
+  const auto edges = gen::planted_matching(n, 60, rng);
+  DynamicApproxMatching m(n, dyn_config(2, 62));
+  AdjGraph ref(n);
+  for (const auto& b : gen::into_batches(gen::insert_stream(edges, rng), 16)) {
+    m.apply_batch(b);
+    ref.apply(b);
+  }
+  expect_valid_matching(m.matching(), ref, "dynamic matching");
+  const std::size_t opt = blossom_maximum_matching(ref);
+  EXPECT_GE(m.matching_size() * 16, opt)
+      << "matching too small for an O(alpha) approximation at alpha=2";
+}
+
+TEST(DynamicMatching, SurvivesChurn) {
+  Rng rng(63);
+  const VertexId n = 48;
+  DynamicApproxMatching m(n, dyn_config(2, 64));
+  AdjGraph ref(n);
+  gen::ChurnOptions opt;
+  opt.n = n;
+  opt.initial_edges = 120;
+  opt.num_batches = 20;
+  opt.batch_size = 8;
+  opt.delete_fraction = 0.45;
+  for (const auto& batch : gen::churn_stream(opt, rng)) {
+    m.apply_batch(batch);
+    ref.apply(batch);
+    expect_valid_matching(m.matching(), ref, "churn");
+  }
+  const std::size_t opt_size = blossom_maximum_matching(ref);
+  if (opt_size >= 8) {
+    EXPECT_GE(m.matching_size() * 16, opt_size);
+  }
+}
+
+TEST(DynamicMatching, MemoryShrinksWithAlpha) {
+  const VertexId n = 256;
+  DynamicApproxMatching coarse(n, dyn_config(8, 65));
+  DynamicApproxMatching fine(n, dyn_config(1, 66));
+  // Sampler count dominates: beta*gamma ~ n^2/alpha^3.
+  std::uint64_t coarse_pairs = 0, fine_pairs = 0;
+  for (const auto& inst : coarse.guesses())
+    coarse_pairs += inst.sparsifier->active_pair_count();
+  for (const auto& inst : fine.guesses())
+    fine_pairs += inst.sparsifier->active_pair_count();
+  EXPECT_LT(coarse_pairs * 16, fine_pairs);
+}
+
+// ---------------- size estimators (Thms 8.5 / 8.6) -------------------------------------
+
+SizeEstimatorConfig est_config(double alpha, std::uint64_t seed) {
+  SizeEstimatorConfig c;
+  c.alpha = alpha;
+  c.seed = seed;
+  return c;
+}
+
+TEST(SizeEstimatorInsert, ZeroOnEmptyGraph) {
+  InsertionOnlySizeEstimator est(64, est_config(2, 70));
+  EXPECT_EQ(est.estimate(), 0.0);
+}
+
+TEST(SizeEstimatorInsert, WithinAlphaBandOnPlantedMatching) {
+  Rng rng(71);
+  const VertexId n = 256;
+  const double alpha = 2;
+  const auto edges = gen::planted_matching(n, 200, rng);
+  InsertionOnlySizeEstimator est(n, est_config(alpha, 72));
+  AdjGraph ref(n);
+  for (const auto& b : gen::into_batches(gen::insert_stream(edges, rng), 32)) {
+    est.apply_batch(b);
+    ref.apply(b);
+  }
+  const double opt = static_cast<double>(blossom_maximum_matching(ref));
+  const double got = est.estimate();
+  ASSERT_GT(opt, 0.0);
+  EXPECT_GT(got, 0.0);
+  // O(alpha) band with generous constants (the estimator is Monte Carlo).
+  EXPECT_GE(got, opt / (8.0 * alpha * alpha));
+  EXPECT_LE(got, opt * 8.0 * alpha);
+}
+
+TEST(SizeEstimatorInsert, RejectsDeletes) {
+  InsertionOnlySizeEstimator est(16, est_config(2, 73));
+  EXPECT_THROW(est.apply_batch({erase_of(0, 1)}), CheckError);
+}
+
+TEST(SizeEstimatorDynamic, TracksGrowthAndShrink) {
+  Rng rng(74);
+  const VertexId n = 128;
+  DynamicSizeEstimator est(n, est_config(2, 75));
+  AdjGraph ref(n);
+  // Grow a planted matching.
+  const auto edges = gen::planted_matching(n, 0, rng);
+  Batch grow;
+  for (const Edge& e : edges) grow.push_back(Update{UpdateType::kInsert, e, 1});
+  for (const auto& b : gen::into_batches(grow, 16)) {
+    est.apply_batch(b);
+    ref.apply(b);
+  }
+  const double opt = static_cast<double>(blossom_maximum_matching(ref));
+  const double high = est.estimate();
+  EXPECT_GT(high, 0.0);
+  EXPECT_GE(high, opt / 16.0);
+  EXPECT_LE(high, opt * 16.0);
+  // Now delete almost everything.
+  Batch shrink;
+  for (std::size_t i = 4; i < edges.size(); ++i)
+    shrink.push_back(Update{UpdateType::kDelete, edges[i], 1});
+  for (const auto& b : gen::into_batches(shrink, 16)) {
+    est.apply_batch(b);
+    ref.apply(b);
+  }
+  const double low = est.estimate();
+  EXPECT_LT(low, high) << "estimate must fall after mass deletion";
+}
+
+TEST(SizeEstimatorDynamic, MemoryShrinksWithAlpha) {
+  const VertexId n = 128;
+  DynamicSizeEstimator coarse(n, est_config(8, 76));
+  DynamicSizeEstimator fine(n, est_config(1, 77));
+  // Construction-time footprint is dominated by Theta(k^2) samplers.
+  EXPECT_LT(coarse.instances(), fine.instances() + 10);
+  // Run one batch through both to materialize usage.
+  Batch b{insert_of(0, 1), insert_of(2, 3)};
+  coarse.apply_batch(b);
+  fine.apply_batch(b);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace streammpc

@@ -1,0 +1,236 @@
+// Property suites and failure injection for the matching layers:
+// alpha x workload matrices for both matching finders, sparsifier
+// resilience under adversarial churn, and deliberately undersized
+// configurations that must degrade *detectably* (never silently corrupt).
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/random.h"
+#include "core/dynamic_connectivity.h"
+#include "graph/adjacency.h"
+#include "graph/generators.h"
+#include "graph/matching_reference.h"
+#include "graph/reference.h"
+#include "graph/streams.h"
+#include "matching/batch_maximal_matching.h"
+#include "matching/dynamic_matching.h"
+#include "matching/greedy_insertion_matching.h"
+#include "matching/size_estimator.h"
+
+namespace streammpc {
+namespace {
+
+// ---------------- greedy matching: alpha x workload matrix ------------------------
+
+enum class Workload { kPlanted, kGnm, kBipartite, kStars };
+
+std::vector<Edge> build_workload(Workload w, VertexId n, Rng& rng) {
+  switch (w) {
+    case Workload::kPlanted:
+      return gen::planted_matching(n, 2 * n, rng);
+    case Workload::kGnm:
+      return gen::gnm(n, 3 * static_cast<std::size_t>(n), rng);
+    case Workload::kBipartite:
+      return gen::random_bipartite(n / 2, n / 2,
+                                   2 * static_cast<std::size_t>(n), rng);
+    case Workload::kStars: {
+      // Few big stars: OPT is small (one edge per star), greedy is safe.
+      std::vector<Edge> edges;
+      const VertexId centers = 8;
+      for (VertexId v = centers; v < n; ++v)
+        edges.push_back(make_edge(v % centers, v));
+      return edges;
+    }
+  }
+  return {};
+}
+
+class GreedyMatrixTest
+    : public ::testing::TestWithParam<std::tuple<Workload, double>> {};
+
+TEST_P(GreedyMatrixTest, RatioAndValidity) {
+  const auto [workload, alpha] = GetParam();
+  const VertexId n = 128;
+  Rng rng(static_cast<std::uint64_t>(alpha * 100) + 7 +
+          static_cast<std::uint64_t>(workload));
+  const auto edges = build_workload(workload, n, rng);
+  GreedyInsertionMatching m(n, alpha);
+  AdjGraph ref(n);
+  for (const auto& b : gen::into_batches(gen::insert_stream(edges, rng), 16)) {
+    m.apply_batch(b);
+    ref.apply(b);
+  }
+  const std::size_t opt = blossom_maximum_matching(ref);
+  if (opt > 0) {
+    ASSERT_GT(m.size(), 0u);
+    const double ratio =
+        static_cast<double>(opt) / static_cast<double>(m.size());
+    EXPECT_LE(ratio, std::max(2.0, alpha) + 1e-9);
+  }
+  // Validity.
+  std::unordered_set<VertexId> used;
+  for (const Edge& e : m.matching()) {
+    EXPECT_TRUE(ref.has_edge(e.u, e.v));
+    EXPECT_TRUE(used.insert(e.u).second);
+    EXPECT_TRUE(used.insert(e.v).second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, GreedyMatrixTest,
+    ::testing::Combine(::testing::Values(Workload::kPlanted, Workload::kGnm,
+                                         Workload::kBipartite,
+                                         Workload::kStars),
+                       ::testing::Values(1.0, 4.0, 16.0)));
+
+// ---------------- dynamic matching: alpha x stream matrix --------------------------
+
+class DynamicMatchingMatrix
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(DynamicMatchingMatrix, StaysValidAndUseful) {
+  const auto [alpha, delete_fraction] = GetParam();
+  const VertexId n = 64;
+  Rng rng(static_cast<std::uint64_t>(alpha * 10 + delete_fraction * 100));
+  DynamicMatchingConfig cfg;
+  cfg.alpha = alpha;
+  cfg.seed = 4242 + static_cast<std::uint64_t>(alpha * 7);
+  DynamicApproxMatching m(n, cfg);
+  AdjGraph ref(n);
+  gen::ChurnOptions opt;
+  opt.n = n;
+  opt.initial_edges = 200;
+  opt.num_batches = 15;
+  opt.batch_size = 10;
+  opt.delete_fraction = delete_fraction;
+  for (const auto& batch : gen::churn_stream(opt, rng)) {
+    m.apply_batch(batch);
+    ref.apply(batch);
+    std::unordered_set<VertexId> used;
+    for (const Edge& e : m.matching()) {
+      ASSERT_TRUE(ref.has_edge(e.u, e.v)) << "ghost matched edge";
+      ASSERT_TRUE(used.insert(e.u).second);
+      ASSERT_TRUE(used.insert(e.v).second);
+    }
+  }
+  const std::size_t opt_size = blossom_maximum_matching(ref);
+  if (opt_size >= 10) {
+    // Loose usefulness floor: within ~8 alpha of optimal.
+    EXPECT_GE(m.matching_size() * static_cast<std::size_t>(8 * alpha),
+              opt_size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, DynamicMatchingMatrix,
+                         ::testing::Combine(::testing::Values(2.0, 4.0),
+                                            ::testing::Values(0.3, 0.5)));
+
+// ---------------- failure injection -------------------------------------------------
+
+TEST(FailureInjection, UndersizedSamplerGridsDegradeDetectably) {
+  // A 1x2 grid per level is far too small to recover dense boundaries;
+  // the sparsifier must *lose* edges (H shrinks), never emit ghosts.
+  const VertexId n = 64;
+  Rng rng(911);
+  AklyConfig cfg;
+  cfg.alpha = 2;
+  cfg.opt_guess = n;
+  cfg.shape = L0Shape{1, 2};  // deliberately crippled
+  cfg.seed = 912;
+  AklySparsifier sp(n, cfg);
+  AdjGraph ref(n);
+  gen::ChurnOptions opt;
+  opt.n = n;
+  opt.initial_edges = 200;
+  opt.num_batches = 10;
+  opt.batch_size = 16;
+  opt.delete_fraction = 0.4;
+  for (const auto& batch : gen::churn_stream(opt, rng)) {
+    const auto delta = sp.apply_batch(batch);
+    ref.apply(batch);
+    for (const Edge& e : delta.add) {
+      ASSERT_TRUE(ref.has_edge(e.u, e.v))
+          << "failure mode must be omission, not fabrication";
+    }
+  }
+}
+
+TEST(FailureInjection, SingleBankConnectivityOvercountsOnly) {
+  // With one sketch bank, deletions will sometimes fail to find existing
+  // replacements; the failure must always be an over-count of components
+  // (a conservative split), never an under-count (a phantom merge).
+  const VertexId n = 48;
+  Rng rng(913);
+  ConnectivityConfig cc;
+  cc.sketch.banks = 1;
+  cc.sketch.shape = L0Shape{1, 4};
+  cc.sketch.seed = 914;
+  DynamicConnectivity dc(n, cc);
+  AdjGraph ref(n);
+  gen::ChurnOptions opt;
+  opt.n = n;
+  opt.initial_edges = 120;
+  opt.num_batches = 25;
+  opt.batch_size = 8;
+  opt.delete_fraction = 0.5;
+  for (const auto& batch : gen::churn_stream(opt, rng)) {
+    dc.apply_batch(batch);
+    ref.apply(batch);
+    ASSERT_GE(dc.num_components(), num_components(ref))
+        << "a sketch failure must never merge disconnected components";
+  }
+}
+
+TEST(FailureInjection, EstimatorWithTinyBudgetUnderestimates) {
+  // budget_constant ~ 0 starves the testers; the estimate may collapse
+  // toward the small guesses but must never exceed its usual upper band.
+  const VertexId n = 256;
+  Rng rng(915);
+  SizeEstimatorConfig cfg;
+  cfg.alpha = 4;
+  cfg.budget_constant = 0.05;
+  cfg.seed = 916;
+  InsertionOnlySizeEstimator est(n, cfg);
+  const auto edges = gen::planted_matching(n, n, rng);
+  for (const auto& b : gen::into_batches(gen::insert_stream(edges, rng), 32))
+    est.apply_batch(b);
+  EXPECT_LE(est.estimate(), static_cast<double>(n));
+}
+
+// ---------------- maximal-matching stress -------------------------------------------
+
+TEST(BatchMaximalStress, LargeBatchesKeepInvariant) {
+  Rng rng(917);
+  BatchMaximalMatching mm(0.25);
+  std::unordered_set<Edge, EdgeHash> live;
+  for (int round = 0; round < 30; ++round) {
+    std::vector<Edge> add, remove;
+    std::unordered_set<Edge, EdgeHash> touched;
+    for (int i = 0; i < 40; ++i) {
+      const VertexId u = static_cast<VertexId>(rng.below(60));
+      VertexId v = static_cast<VertexId>(rng.below(59));
+      if (v >= u) ++v;
+      const Edge e = make_edge(u, v);
+      if (!touched.insert(e).second) continue;
+      if (live.count(e)) {
+        remove.push_back(e);
+        live.erase(e);
+      } else {
+        add.push_back(e);
+        live.insert(e);
+      }
+    }
+    mm.apply(remove, add);
+    ASSERT_TRUE(mm.is_maximal()) << "round " << round;
+    ASSERT_EQ(mm.edge_count(), live.size());
+    // Matching is at least half of maximum on H.
+    AdjGraph h(60);
+    for (const Edge& e : live) h.insert_edge(e.u, e.v);
+    const std::size_t opt = blossom_maximum_matching(h);
+    ASSERT_GE(2 * mm.size(), opt);
+  }
+}
+
+}  // namespace
+}  // namespace streammpc

@@ -1,0 +1,184 @@
+// Tests for the MPC cluster simulator: geometry derivation, round
+// accounting, memory ledger, capacity violations, primitives.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "mpc/cluster.h"
+#include "mpc/config.h"
+#include "mpc/primitives.h"
+
+namespace streammpc::mpc {
+namespace {
+
+MpcConfig small_config() {
+  MpcConfig c;
+  c.n = 1024;
+  c.phi = 0.5;
+  return c;
+}
+
+TEST(Cluster, DerivedGeometry) {
+  Cluster c(small_config());
+  // record capacity = ceil(n^phi) = 32 for n=1024, phi=0.5.
+  EXPECT_EQ(c.record_capacity(), 32u);
+  EXPECT_GE(c.machines(), 1u);
+  // Total capacity covers the ~O(n) budget.
+  EXPECT_GE(c.total_capacity_words(), 1024u);
+}
+
+TEST(Cluster, MachineCountScalesSublinearly) {
+  MpcConfig a = small_config();
+  MpcConfig b = small_config();
+  b.n = 1024 * 16;
+  Cluster ca(a), cb(b);
+  // machines ~ n^{1-phi}: growing n by 16 with phi=1/2 grows machines ~4x.
+  const double ratio = static_cast<double>(cb.machines()) /
+                       static_cast<double>(ca.machines());
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 8.0);
+}
+
+TEST(Cluster, ExplicitGeometryRespected) {
+  MpcConfig c = small_config();
+  c.machines = 7;
+  c.local_memory_words = 1000;
+  Cluster cl(c);
+  EXPECT_EQ(cl.machines(), 7u);
+  EXPECT_EQ(cl.local_capacity_words(), 1000u);
+  EXPECT_EQ(cl.total_capacity_words(), 7000u);
+}
+
+TEST(Cluster, RoundAccounting) {
+  Cluster c(small_config());
+  EXPECT_EQ(c.rounds(), 0u);
+  c.add_rounds(3, "x");
+  c.add_rounds(2, "y");
+  c.add_rounds(1, "x");
+  EXPECT_EQ(c.rounds(), 6u);
+  EXPECT_EQ(c.rounds_by_label().at("x"), 4u);
+  EXPECT_EQ(c.rounds_by_label().at("y"), 2u);
+}
+
+TEST(Cluster, PhaseRounds) {
+  Cluster c(small_config());
+  c.add_rounds(5, "setup");
+  c.begin_phase();
+  c.add_rounds(2, "work");
+  EXPECT_EQ(c.phase_rounds(), 2u);
+  c.begin_phase();
+  EXPECT_EQ(c.phase_rounds(), 0u);
+  EXPECT_EQ(c.phases(), 2u);
+}
+
+TEST(Cluster, BroadcastRoundsShrinkWithPhi) {
+  MpcConfig lo = small_config();
+  lo.phi = 0.25;
+  MpcConfig hi = small_config();
+  hi.phi = 0.75;
+  Cluster clo(lo), chi(hi);
+  EXPECT_GE(clo.broadcast_rounds(), chi.broadcast_rounds());
+  // aggregate over n items: ~1/phi growth.
+  EXPECT_GT(clo.aggregate_rounds(1024), chi.aggregate_rounds(1024));
+}
+
+TEST(Cluster, AggregateRoundsMatchesTreeHeight) {
+  MpcConfig c = small_config();  // record capacity 32
+  Cluster cl(c);
+  EXPECT_EQ(cl.aggregate_rounds(1), 1u);
+  EXPECT_EQ(cl.aggregate_rounds(32), 1u);
+  EXPECT_EQ(cl.aggregate_rounds(33), 2u);
+  EXPECT_EQ(cl.aggregate_rounds(1024), 2u);
+  EXPECT_EQ(cl.aggregate_rounds(1025), 3u);
+}
+
+TEST(Cluster, LedgerTracksUsageAndPeak) {
+  Cluster c(small_config());
+  c.set_usage("a", 100);
+  c.set_usage("b", 50);
+  EXPECT_EQ(c.usage_total(), 150u);
+  c.set_usage("a", 10);
+  EXPECT_EQ(c.usage_total(), 60u);
+  EXPECT_EQ(c.peak_usage_total(), 150u);
+}
+
+TEST(Cluster, TotalCapacityViolationRecorded) {
+  MpcConfig cfg = small_config();
+  cfg.machines = 2;
+  cfg.local_memory_words = 100;
+  Cluster c(cfg);
+  c.set_usage("big", 201);
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.violations().size(), 1u);
+}
+
+TEST(Cluster, StrictModeThrows) {
+  MpcConfig cfg = small_config();
+  cfg.machines = 2;
+  cfg.local_memory_words = 100;
+  cfg.strict = true;
+  Cluster c(cfg);
+  EXPECT_THROW(c.set_usage("big", 500), CheckError);
+}
+
+TEST(Cluster, ObjectCapacityViolation) {
+  MpcConfig cfg = small_config();
+  cfg.local_memory_words = 64;
+  Cluster c(cfg);
+  c.note_object(64, "fits");
+  EXPECT_TRUE(c.ok());
+  c.note_object(65, "too big");
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.peak_object_words(), 65u);
+}
+
+TEST(Cluster, CommunicationPerPhase) {
+  Cluster c(small_config());
+  c.begin_phase();
+  c.charge_comm(10);
+  c.charge_comm(5);
+  EXPECT_EQ(c.phase_comm(), 15u);
+  c.begin_phase();
+  c.charge_comm(3);
+  EXPECT_EQ(c.phase_comm(), 3u);
+  EXPECT_EQ(c.comm_total(), 18u);
+  EXPECT_EQ(c.peak_phase_comm(), 15u);
+}
+
+TEST(Cluster, ReportMentionsViolations) {
+  MpcConfig cfg = small_config();
+  cfg.machines = 1;
+  cfg.local_memory_words = 16;
+  Cluster c(cfg);
+  c.set_usage("x", 1000);
+  EXPECT_NE(c.report().find("VIOLATIONS"), std::string::npos);
+}
+
+TEST(Primitives, NullClusterIsNoop) {
+  broadcast(nullptr, 100, "b");
+  gather_to_one(nullptr, 100, "g");
+  aggregate(nullptr, 100, 2, "a");
+  sort(nullptr, 100, "s");
+  scatter(nullptr, 100, "sc");
+  SUCCEED();
+}
+
+TEST(Primitives, ChargesRoundsAndComm) {
+  Cluster c(small_config());
+  broadcast(&c, 10, "b");
+  EXPECT_GE(c.rounds(), 1u);
+  EXPECT_EQ(c.comm_total(), 10 * c.machines());
+  const auto before = c.rounds();
+  sort(&c, 10000, "s");
+  EXPECT_GT(c.rounds(), before);
+}
+
+TEST(Primitives, GatherValidatesObjectSize) {
+  MpcConfig cfg = small_config();
+  cfg.local_memory_words = 32;
+  Cluster c(cfg);
+  gather_to_one(&c, 33, "too-big");
+  EXPECT_FALSE(c.ok());
+}
+
+}  // namespace
+}  // namespace streammpc::mpc

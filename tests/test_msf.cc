@@ -1,0 +1,263 @@
+// Tests for the minimum-spanning-forest layers: exact insertion-only MSF
+// (Theorem 1.2(i), §7.1) against Kruskal, and the (1+eps)-approximate MSF
+// (Theorem 1.2(ii), §7.2) weight/forest guarantees.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "graph/adjacency.h"
+#include "graph/generators.h"
+#include "graph/reference.h"
+#include "graph/streams.h"
+#include "msf/approx_msf.h"
+#include "msf/exact_insertion_msf.h"
+
+namespace streammpc {
+namespace {
+
+// ---------------- exact MSF, insertion-only ----------------------------------------
+
+TEST(ExactMsf, CrossComponentInsertsOnly) {
+  ExactInsertionMsf msf(6);
+  msf.apply_insert_batch({{make_edge(0, 1), 5}, {make_edge(2, 3), 7}});
+  EXPECT_EQ(msf.total_weight(), 12);
+  EXPECT_EQ(msf.num_components(), 4u);  // {0,1},{2,3},{4},{5}
+}
+
+TEST(ExactMsf, CycleEdgeRejected) {
+  ExactInsertionMsf msf(4);
+  msf.apply_insert_batch({{make_edge(0, 1), 1}, {make_edge(1, 2), 2}});
+  msf.apply_insert_batch({{make_edge(0, 2), 10}});  // heaviest in its cycle
+  EXPECT_EQ(msf.total_weight(), 3);
+  EXPECT_EQ(msf.stats().rejected, 1u);
+}
+
+TEST(ExactMsf, SwapReplacesHeaviestPathEdge) {
+  ExactInsertionMsf msf(4);
+  msf.apply_insert_batch({{make_edge(0, 1), 10}, {make_edge(1, 2), 1}});
+  msf.apply_insert_batch({{make_edge(0, 2), 3}});  // displaces the 10-edge
+  EXPECT_EQ(msf.total_weight(), 4);
+  EXPECT_EQ(msf.stats().swaps, 1u);
+  const auto edges = msf.forest_edges();
+  for (const auto& we : edges) EXPECT_NE(we.w, 10);
+}
+
+TEST(ExactMsf, PaperGlossCounterexampleHandled) {
+  // The case from DESIGN.md §3(4): two overlapping insert paths whose
+  // optimal solution drops two tree edges that are *not* both per-insert
+  // path maxima.  Tree path a(0)-x:50-b(1)-h:100-c(2)-y:60-d(3); insert
+  // {0,2} w=1 and {1,3} w=2.  Optimal keeps {bc=100 dropped, x&y dropped}:
+  // MSF(F u I) = {e1=1, e2=2, x=50} of weight 53.
+  ExactInsertionMsf msf(4);
+  msf.apply_insert_batch({{make_edge(0, 1), 50},
+                          {make_edge(1, 2), 100},
+                          {make_edge(2, 3), 60}});
+  EXPECT_EQ(msf.total_weight(), 210);
+  msf.apply_insert_batch({{make_edge(0, 2), 1}, {make_edge(1, 3), 2}});
+  EXPECT_EQ(msf.total_weight(), 53);
+}
+
+struct MsfCase {
+  VertexId n;
+  std::size_t m;
+  std::size_t batch;
+  Weight wmax;
+  bool distinct;
+  std::uint64_t seed;
+};
+
+class ExactMsfStreamTest : public ::testing::TestWithParam<MsfCase> {};
+
+TEST_P(ExactMsfStreamTest, MatchesKruskalThroughout) {
+  const MsfCase& c = GetParam();
+  Rng rng(c.seed);
+  const auto edges = gen::gnm(c.n, c.m, rng);
+  const auto weighted =
+      gen::with_random_weights(edges, 1, c.wmax, rng, c.distinct);
+  auto stream = gen::insert_stream(weighted, rng);
+  const auto batches = gen::into_batches(stream, c.batch);
+
+  ExactInsertionMsf msf(c.n);
+  AdjGraph ref(c.n);
+  std::size_t i = 0;
+  for (const auto& b : batches) {
+    msf.apply_batch(b);
+    ref.apply(b);
+    if (++i % 3 == 0 || i == batches.size()) {
+      const auto [kw, kforest] = kruskal_msf(ref);
+      ASSERT_EQ(msf.total_weight(), kw)
+          << "batch " << i << "/" << batches.size();
+      EXPECT_EQ(msf.forest_edges().size(), kforest.size());
+      if (c.distinct) {
+        // Unique MSF: edge sets must match exactly.
+        auto got = msf.forest_edges();
+        auto want = kforest;
+        std::sort(want.begin(), want.end(),
+                  [](const WeightedEdge& a, const WeightedEdge& b2) {
+                    return a.e < b2.e;
+                  });
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t j = 0; j < got.size(); ++j) {
+          EXPECT_EQ(got[j].e, want[j].e);
+          EXPECT_EQ(got[j].w, want[j].w);
+        }
+      }
+    }
+  }
+  msf.forest().validate();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, ExactMsfStreamTest,
+    ::testing::Values(MsfCase{16, 40, 5, 100, true, 11},
+                      MsfCase{32, 120, 8, 1000, true, 12},
+                      MsfCase{64, 300, 16, 10000, true, 13},
+                      MsfCase{32, 120, 8, 5, false, 14},   // heavy ties
+                      MsfCase{64, 200, 200, 50, false, 15},  // one giant batch
+                      MsfCase{48, 180, 1, 1000, true, 16}));  // singleton batches
+
+TEST(ExactMsf, RejectsDeletes) {
+  ExactInsertionMsf msf(4);
+  EXPECT_THROW(msf.apply_batch({erase_of(0, 1)}), CheckError);
+}
+
+TEST(ExactMsf, MemoryIsLinearInN) {
+  Rng rng(17);
+  const VertexId n = 64;
+  ExactInsertionMsf msf(n);
+  const auto weighted = gen::with_random_weights(
+      gen::gnm(n, 1200, rng), 1, 100000, rng, true);
+  std::uint64_t words_early = 0;
+  std::size_t applied = 0;
+  for (const auto& b :
+       gen::into_batches(gen::insert_stream(weighted, rng), 40)) {
+    msf.apply_batch(b);
+    applied += b.size();
+    if (applied == 200) words_early = msf.memory_words();
+  }
+  EXPECT_LT(msf.memory_words(), words_early * 2)
+      << "exact MSF memory must not track m";
+}
+
+// ---------------- approximate MSF ----------------------------------------------------
+
+ApproxMsfConfig approx_config(double eps, Weight wmax, std::uint64_t seed) {
+  ApproxMsfConfig c;
+  c.eps = eps;
+  c.w_max = wmax;
+  c.seed = seed;
+  c.connectivity.sketch.banks = 8;
+  return c;
+}
+
+TEST(ApproxMsf, InstanceCountMatchesLogScale) {
+  ApproxMsf msf(16, approx_config(0.5, 64, 21));
+  // thresholds 1, 1.5, 2.25, ..., >= 64 -> ceil(log_1.5 64)+1 = 12.
+  EXPECT_EQ(msf.instances(), 12u);
+  EXPECT_GE(msf.threshold(msf.instances() - 1), 64.0);
+}
+
+TEST(ApproxMsf, WeightEstimateOnKnownTree) {
+  // Spanning tree of unit weights: w(T) = n - 1; estimate within (1+eps).
+  const VertexId n = 32;
+  ApproxMsf msf(n, approx_config(0.25, 8, 22));
+  Rng rng(23);
+  Batch batch;
+  for (const Edge& e : gen::random_tree(n, rng))
+    batch.push_back(Update{UpdateType::kInsert, e, 1});
+  msf.apply_batch(batch);
+  const double estimate = msf.weight_estimate();
+  const double truth = n - 1;
+  EXPECT_GE(estimate, truth - 1e-6);
+  EXPECT_LE(estimate, (1.25 + 1e-6) * truth + 1.0);
+}
+
+class ApproxMsfRatioTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ApproxMsfRatioTest, EstimateWithinOnePlusEps) {
+  const double eps = GetParam();
+  Rng rng(24);
+  const VertexId n = 48;
+  const Weight wmax = 32;
+  const auto weighted = gen::with_random_weights(
+      gen::connected_gnm(n, 150, rng), 1, wmax, rng, false);
+  ApproxMsf msf(n, approx_config(eps, wmax, 25));
+  AdjGraph ref(n);
+  for (const auto& b :
+       gen::into_batches(gen::insert_stream(weighted, rng), 25)) {
+    msf.apply_batch(b);
+    ref.apply(b);
+  }
+  const auto [kw, kforest] = kruskal_msf(ref);
+  const double ratio = msf.weight_estimate() / static_cast<double>(kw);
+  EXPECT_GE(ratio, 1.0 - 1e-9) << "CRT estimate is a guaranteed upper bound";
+  EXPECT_LE(ratio, 1.0 + eps + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Eps, ApproxMsfRatioTest,
+                         ::testing::Values(0.5, 0.25, 0.1));
+
+TEST(ApproxMsf, DynamicUpdatesTrackKruskal) {
+  Rng rng(26);
+  const VertexId n = 32;
+  const Weight wmax = 16;
+  gen::ChurnOptions opt;
+  opt.n = n;
+  opt.initial_edges = 100;
+  opt.num_batches = 12;
+  opt.batch_size = 8;
+  opt.delete_fraction = 0.4;
+  opt.wmin = 1;
+  opt.wmax = wmax;
+  const auto batches = gen::churn_stream(opt, rng);
+  ApproxMsf msf(n, approx_config(0.25, wmax, 27));
+  AdjGraph ref(n);
+  for (const auto& b : batches) {
+    msf.apply_batch(b);
+    ref.apply(b);
+  }
+  const auto [kw, kforest] = kruskal_msf(ref);
+  if (kw > 0) {
+    const double ratio = msf.weight_estimate() / static_cast<double>(kw);
+    EXPECT_GE(ratio, 0.95);
+    EXPECT_LE(ratio, 1.4);
+  }
+}
+
+TEST(ApproxMsf, ForestIsAValidForestWithRightComponents) {
+  Rng rng(28);
+  const VertexId n = 40;
+  const Weight wmax = 16;
+  const auto weighted = gen::with_random_weights(
+      gen::gnm(n, 140, rng), 1, wmax, rng, false);
+  ApproxMsf msf(n, approx_config(0.25, wmax, 29));
+  AdjGraph ref(n);
+  for (const auto& b :
+       gen::into_batches(gen::insert_stream(weighted, rng), 20)) {
+    msf.apply_batch(b);
+    ref.apply(b);
+  }
+  const auto forest = msf.forest();
+  Dsu dsu(n);
+  for (const auto& [e, w] : forest) {
+    EXPECT_TRUE(ref.has_edge(e.u, e.v)) << "approx MSF edge must exist";
+    EXPECT_TRUE(dsu.unite(e.u, e.v)) << "approx MSF must be acyclic";
+  }
+  EXPECT_EQ(dsu.num_sets(), num_components(ref));
+  // Reported (bucket-cap) weight within (1+eps)^2 of the true optimum.
+  const auto [kw, kforest] = kruskal_msf(ref);
+  const double ratio = msf.forest_weight() / static_cast<double>(kw);
+  EXPECT_GE(ratio, 0.95);
+  EXPECT_LE(ratio, 1.6);
+}
+
+TEST(ApproxMsf, RejectsOutOfRangeWeights) {
+  ApproxMsf msf(8, approx_config(0.5, 16, 30));
+  EXPECT_THROW(msf.apply_batch({insert_of(0, 1, 17)}), CheckError);
+  EXPECT_THROW(msf.apply_batch({insert_of(0, 1, 0)}), CheckError);
+}
+
+}  // namespace
+}  // namespace streammpc

@@ -1,0 +1,188 @@
+// Tests for the MSF extensions: bootstrap pre-computation, the §7.2.2
+// cycle-filter regression (DESIGN.md §3(6)), and deeper approximate-MSF
+// properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "graph/adjacency.h"
+#include "graph/generators.h"
+#include "graph/reference.h"
+#include "graph/streams.h"
+#include "msf/approx_msf.h"
+#include "msf/exact_insertion_msf.h"
+
+namespace streammpc {
+namespace {
+
+TEST(MsfBootstrap, MatchesKruskalImmediately) {
+  const VertexId n = 128;
+  Rng rng(51);
+  const auto weighted = gen::with_random_weights(
+      gen::gnm(n, 500, rng), 1, 100000, rng, /*distinct=*/true);
+  ExactInsertionMsf msf(n);
+  msf.bootstrap(weighted);
+  const auto [kw, kforest] = kruskal_msf(n, weighted);
+  EXPECT_EQ(msf.total_weight(), kw);
+  EXPECT_EQ(msf.forest_edges().size(), kforest.size());
+  msf.forest().validate();
+}
+
+TEST(MsfBootstrap, SupportsSubsequentBatches) {
+  const VertexId n = 64;
+  Rng rng(52);
+  auto weighted = gen::with_random_weights(gen::gnm(n, 300, rng), 1,
+                                           1 << 20, rng, true);
+  // Hold back a quarter for streaming afterwards.
+  const std::size_t hold = weighted.size() / 4;
+  std::vector<WeightedEdge> later(weighted.end() - hold, weighted.end());
+  weighted.resize(weighted.size() - hold);
+
+  ExactInsertionMsf msf(n);
+  msf.bootstrap(weighted);
+  AdjGraph ref(n);
+  for (const auto& we : weighted) ref.insert_edge(we.e.u, we.e.v, we.w);
+  for (const auto& b :
+       gen::into_batches(gen::insert_stream(later, rng), 16)) {
+    msf.apply_batch(b);
+    ref.apply(b);
+    const auto [kw, kf] = kruskal_msf(ref);
+    ASSERT_EQ(msf.total_weight(), kw);
+  }
+}
+
+TEST(MsfBootstrap, RejectsNonFresh) {
+  ExactInsertionMsf msf(8);
+  msf.apply_insert_batch({{make_edge(0, 1), 3}});
+  EXPECT_THROW(msf.bootstrap({{make_edge(2, 3), 1}}), CheckError);
+}
+
+// ---------------- §7.2.2 cycle-filter regression -------------------------------------
+
+TEST(ApproxMsfRegression, InconsistentLevelForestsWouldCycle) {
+  // DESIGN.md §3(6): insertion order forces F_1 to route x..y through z
+  // while F_0 connects x,y directly — the paper's label filter alone would
+  // emit the triangle {x,z},{z,y},{x,y}.  The cycle filter must not.
+  //   vertices: x=0, y=1, z=2; eps=1 -> thresholds 1, 2.
+  ApproxMsfConfig cfg;
+  cfg.eps = 1.0;
+  cfg.w_max = 2;
+  cfg.seed = 61;
+  cfg.connectivity.sketch.banks = 8;
+  ApproxMsf msf(3, cfg);
+  ASSERT_EQ(msf.instances(), 2u);
+  // Batch 1: the weight-2 edges {x,z}, {z,y} (only instance 1 sees them).
+  msf.apply_batch({insert_of(0, 2, 2), insert_of(2, 1, 2)});
+  // Batch 2: the weight-1 edge {x,y} — instance 1 already connects x,y,
+  // so F_1 keeps routing through z; instance 0 gets its first edge.
+  msf.apply_batch({insert_of(0, 1, 1)});
+
+  const auto forest = msf.forest();
+  EXPECT_EQ(forest.size(), 2u) << "a 3-vertex connected graph has 2 forest "
+                                  "edges; 3 would be the paper's cycle";
+  Dsu dsu(3);
+  for (const auto& [e, w] : forest) EXPECT_TRUE(dsu.unite(e.u, e.v));
+  EXPECT_EQ(dsu.num_sets(), 1u);
+  // Weight stays within (1+eps) of the true MSF (1 + 2 = 3).
+  EXPECT_LE(msf.forest_weight(), (1.0 + cfg.eps) * 3.0 + 1e-9);
+  EXPECT_GE(msf.forest_weight(), 3.0 - 1e-9);
+}
+
+TEST(ApproxMsf, ForestNeverCyclesUnderHeavyChurn) {
+  const VertexId n = 32;
+  Rng rng(62);
+  ApproxMsfConfig cfg;
+  cfg.eps = 0.5;
+  cfg.w_max = 16;
+  cfg.seed = 63;
+  cfg.connectivity.sketch.banks = 8;
+  ApproxMsf msf(n, cfg);
+  AdjGraph ref(n);
+  gen::ChurnOptions opt;
+  opt.n = n;
+  opt.initial_edges = 80;
+  opt.num_batches = 15;
+  opt.batch_size = 8;
+  opt.delete_fraction = 0.45;
+  opt.wmin = 1;
+  opt.wmax = 16;
+  for (const auto& b : gen::churn_stream(opt, rng)) {
+    msf.apply_batch(b);
+    ref.apply(b);
+    Dsu dsu(n);
+    for (const auto& [e, w] : msf.forest()) {
+      ASSERT_TRUE(dsu.unite(e.u, e.v)) << "cycle in approximate forest";
+    }
+  }
+}
+
+TEST(ApproxMsf, WeightEstimateMonotoneUnderWeightScale) {
+  // Doubling every weight must roughly double the estimate (the buckets
+  // shift by one (1+eps) step); checks the lambda_i bookkeeping.
+  const VertexId n = 48;
+  Rng rng(64);
+  const auto tree = gen::random_tree(n, rng);
+  auto run = [&](Weight scale, std::uint64_t seed) {
+    ApproxMsfConfig cfg;
+    cfg.eps = 0.25;
+    cfg.w_max = 64;
+    cfg.seed = seed;
+    cfg.connectivity.sketch.banks = 6;
+    ApproxMsf msf(n, cfg);
+    Batch batch;
+    for (const Edge& e : tree)
+      batch.push_back(Update{UpdateType::kInsert, e, 2 * scale});
+    msf.apply_batch(batch);
+    return msf.weight_estimate();
+  };
+  const double w1 = run(1, 65);
+  const double w2 = run(2, 66);
+  EXPECT_GT(w2, 1.6 * w1);
+  EXPECT_LT(w2, 2.6 * w1);
+}
+
+TEST(ApproxMsf, WeightChangeViaDeleteInsertInOneBatch) {
+  // Changing an edge's weight = delete(old) + insert(new) in one batch.
+  // Instances between the two thresholds see only one of the two updates;
+  // instances above both see an offsetting pair (cancelled by
+  // normalize_batch).  The estimate must track the new weight.
+  const VertexId n = 4;
+  ApproxMsfConfig cfg;
+  cfg.eps = 0.5;
+  cfg.w_max = 32;
+  cfg.seed = 68;
+  cfg.connectivity.sketch.banks = 8;
+  ApproxMsf msf(n, cfg);
+  msf.apply_batch({insert_of(0, 1, 2), insert_of(1, 2, 2)});
+  const double before = msf.weight_estimate();
+  EXPECT_GE(before, 4.0 - 1e-9);
+  EXPECT_LE(before, 1.5 * 4.0 + 1e-9);
+  // Reweight {0,1}: 2 -> 32.
+  msf.apply_batch({erase_of(0, 1, 2), insert_of(0, 1, 32)});
+  const double after = msf.weight_estimate();
+  EXPECT_GE(after, 34.0 - 1e-9);
+  EXPECT_LE(after, 1.5 * 34.0 + 1e-9);
+  // And downward again: 32 -> 1.
+  msf.apply_batch({erase_of(0, 1, 32), insert_of(0, 1, 1)});
+  const double final_w = msf.weight_estimate();
+  EXPECT_GE(final_w, 3.0 - 1e-9);
+  EXPECT_LE(final_w, 1.5 * 3.0 + 1e-9);
+}
+
+TEST(ApproxMsf, EmptyAndSingletonGraphs) {
+  ApproxMsfConfig cfg;
+  cfg.eps = 0.5;
+  cfg.w_max = 8;
+  cfg.seed = 67;
+  cfg.connectivity.sketch.banks = 4;
+  ApproxMsf msf(5, cfg);
+  EXPECT_TRUE(msf.forest().empty());
+  // All components are singletons: weight estimate must be ~0.
+  EXPECT_NEAR(msf.weight_estimate(), 0.0, 1.0);
+  msf.apply_batch({insert_of(0, 1, 8)});
+  EXPECT_EQ(msf.forest().size(), 1u);
+}
+
+}  // namespace
+}  // namespace streammpc
