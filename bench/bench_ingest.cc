@@ -1,0 +1,190 @@
+// E11 — end-to-end ingest throughput through the flat-arena sketch engine.
+//
+// Measures the edge-update hot path at four altitudes:
+//   * raw sketches, single updates (update_edge) — legacy vs flat engine;
+//   * raw sketches, batched updates (update_edges) with a bank-parallel
+//     thread sweep;
+//   * the AGM baseline structure absorbing insert batches (§4.1);
+//   * streaming connectivity consuming a mixed insert/delete stream
+//     through the buffered apply_stream path (§4.2).
+//
+// Emits the paper-style table on stdout and BENCH_ingest.json for the
+// cross-PR perf trajectory.  `--quick` shrinks the workload for CI smoke
+// runs.
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "bench_util.h"
+#include "core/agm_static.h"
+#include "core/streaming_connectivity.h"
+#include "graph/generators.h"
+#include "graph/streams.h"
+#include "legacy_sketch_ref.h"
+#include "sketch/graphsketch.h"
+
+namespace streammpc {
+namespace {
+
+struct IngestConfig {
+  VertexId n = 1 << 16;
+  std::size_t edges = 1 << 15;
+  std::size_t batch_size = 1 << 12;
+  int repeats = 2;
+};
+
+double ops_per_sec(std::size_t ops, double seconds) {
+  return seconds > 0 ? static_cast<double>(ops) / seconds : 0.0;
+}
+
+void run(const IngestConfig& cfg) {
+  bench::BenchJson json("ingest");
+  json.set("config.n", static_cast<std::uint64_t>(cfg.n));
+  json.set("config.edges", static_cast<std::uint64_t>(cfg.edges));
+  json.set("config.batch_size", static_cast<std::uint64_t>(cfg.batch_size));
+
+  Rng rng(7001);
+  const auto edges = gen::gnm(cfg.n, cfg.edges, rng);
+  std::vector<EdgeDelta> deltas;
+  deltas.reserve(edges.size());
+  for (const Edge& e : edges) deltas.push_back(EdgeDelta{e, +1});
+
+  GraphSketchConfig sketch;  // defaults: 12 banks, {2, 8}
+  sketch.seed = 7002;
+
+  bench::section("E11: sketch ingest throughput (n = " +
+                     std::to_string(cfg.n) + ", m = " +
+                     std::to_string(cfg.edges) + ", 12 banks)",
+                 "flat arenas + once-per-bank planning >= 2x the seed "
+                 "nested-vector path; banks are an embarrassingly "
+                 "parallel axis");
+  Table t({"path", "threads", "edges/sec", "vs legacy"});
+
+  // Legacy nested-vector baseline, single updates.
+  double legacy_ops;
+  {
+    legacy::LegacyVertexSketches vs(cfg.n, sketch);
+    bench::Timer timer;
+    for (int rep = 0; rep < cfg.repeats; ++rep) {
+      const std::int64_t delta = (rep & 1) ? -1 : +1;
+      for (const Edge& e : edges) vs.update_edge(e, delta);
+    }
+    legacy_ops = ops_per_sec(edges.size() * cfg.repeats, timer.seconds());
+  }
+  t.add_row().cell("legacy update_edge").cell(std::uint64_t{1}).cell(
+      legacy_ops, 0).cell(1.0, 2);
+  json.set("update_edge.legacy_ops_per_sec", legacy_ops);
+
+  // Flat engine, single updates.
+  {
+    GraphSketchConfig serial = sketch;
+    serial.ingest_threads = 1;
+    VertexSketches vs(cfg.n, serial);
+    bench::Timer timer;
+    for (int rep = 0; rep < cfg.repeats; ++rep) {
+      const std::int64_t delta = (rep & 1) ? -1 : +1;
+      for (const Edge& e : edges) vs.update_edge(e, delta);
+    }
+    const double ops = ops_per_sec(edges.size() * cfg.repeats, timer.seconds());
+    t.add_row().cell("flat update_edge").cell(std::uint64_t{1}).cell(ops, 0)
+        .cell(ops / legacy_ops, 2);
+    json.set("update_edge.flat_ops_per_sec", ops);
+    json.set("update_edge.speedup_vs_legacy", ops / legacy_ops);
+  }
+
+  // Flat engine, batched updates, thread sweep over the bank axis.
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    GraphSketchConfig threaded = sketch;
+    threaded.ingest_threads = threads;
+    VertexSketches vs(cfg.n, threaded);
+    bench::Timer timer;
+    for (int rep = 0; rep < cfg.repeats; ++rep) {
+      for (std::size_t start = 0; start < deltas.size();
+           start += cfg.batch_size) {
+        const std::size_t len =
+            std::min(cfg.batch_size, deltas.size() - start);
+        std::span<EdgeDelta> chunk(deltas.data() + start, len);
+        for (EdgeDelta& d : chunk) d.delta = (rep & 1) ? -1 : +1;
+        vs.update_edges(chunk);
+      }
+    }
+    const double ops = ops_per_sec(edges.size() * cfg.repeats, timer.seconds());
+    t.add_row()
+        .cell("batched update_edges")
+        .cell(static_cast<std::uint64_t>(threads))
+        .cell(ops, 0)
+        .cell(ops / legacy_ops, 2);
+    json.set("update_edges.threads_" + std::to_string(threads) +
+                 ".ops_per_sec",
+             ops);
+  }
+
+  // AGM baseline structure absorbing insert batches end-to-end.
+  {
+    AgmStaticConnectivity agm(cfg.n, sketch);
+    Rng stream_rng(7003);
+    const auto stream = gen::insert_stream(edges, stream_rng);
+    bench::Timer timer;
+    for (std::size_t start = 0; start < stream.size();
+         start += cfg.batch_size) {
+      const std::size_t len = std::min(cfg.batch_size, stream.size() - start);
+      agm.apply_batch(Batch(stream.begin() + start,
+                            stream.begin() + start + len));
+    }
+    const double ops = ops_per_sec(stream.size(), timer.seconds());
+    t.add_row().cell("agm apply_batch").cell(std::uint64_t{0}).cell(ops, 0)
+        .cell(ops / legacy_ops, 2);
+    json.set("agm.apply_batch_ops_per_sec", ops);
+  }
+
+  // Streaming connectivity over a mixed stream via apply_stream.
+  {
+    const VertexId sc_n = std::min<VertexId>(cfg.n, 4096);
+    Rng sc_rng(7004);
+    gen::ChurnOptions churn;
+    churn.n = sc_n;
+    churn.initial_edges = std::min<std::size_t>(cfg.edges, 4 * sc_n);
+    churn.num_batches = 16;
+    churn.batch_size = std::max<std::size_t>(cfg.batch_size / 16, 64);
+    churn.delete_fraction = 0.3;
+    const auto batches = gen::churn_stream(churn, sc_rng);
+    GraphSketchConfig sc_sketch = sketch;
+    StreamingConnectivity sc(sc_n, sc_sketch);
+    std::size_t updates = 0;
+    bench::Timer timer;
+    for (const Batch& batch : batches) {
+      sc.apply_stream(std::span<const Update>(batch.data(), batch.size()));
+      updates += batch.size();
+    }
+    const double ops = ops_per_sec(updates, timer.seconds());
+    t.add_row().cell("streaming apply_stream").cell(std::uint64_t{0})
+        .cell(ops, 0).cell(0.0, 2);
+    json.set("streaming.apply_stream_ops_per_sec", ops);
+    json.set("streaming.updates", static_cast<std::uint64_t>(updates));
+  }
+
+  t.print(std::cout);
+  json.flush();
+}
+
+}  // namespace
+}  // namespace streammpc
+
+int main(int argc, char** argv) {
+  streammpc::IngestConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      cfg.n = 1 << 12;
+      cfg.edges = 1 << 12;
+      cfg.batch_size = 1 << 10;
+      cfg.repeats = 1;
+    } else {
+      std::cerr << "unknown argument: " << argv[i]
+                << "\nusage: bench_ingest [--quick]\n";
+      return 2;
+    }
+  }
+  streammpc::run(cfg);
+  return 0;
+}

@@ -2,8 +2,12 @@
 #pragma once
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <sstream>
 #include <string>
+#include <variant>
 
 #include "common/random.h"
 #include "common/table.h"
@@ -11,6 +15,52 @@
 #include "mpc/cluster.h"
 
 namespace streammpc::bench {
+
+// Machine-readable benchmark record.  Collects flat key -> value metrics
+// (dotted keys for grouping, e.g. "edge_update.ops_per_sec") and writes
+// them as BENCH_<name>.json next to the binary on flush(), so the perf
+// trajectory is trackable across PRs without parsing the human tables.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  ~BenchJson() { flush(); }
+
+  void set(const std::string& key, double value) { values_[key] = value; }
+  void set(const std::string& key, std::uint64_t value) {
+    values_[key] = static_cast<double>(value);
+  }
+  void set(const std::string& key, int value) {
+    values_[key] = static_cast<double>(value);
+  }
+  void set(const std::string& key, const std::string& value) {
+    values_[key] = value;
+  }
+
+  void flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    std::ofstream out("BENCH_" + name_ + ".json");
+    out << "{\n  \"bench\": \"" << name_ << "\"";
+    for (const auto& [key, value] : values_) {
+      out << ",\n  \"" << key << "\": ";
+      if (const double* d = std::get_if<double>(&value)) {
+        std::ostringstream num;
+        num << *d;
+        out << num.str();
+      } else {
+        out << '"' << std::get<std::string>(value) << '"';
+      }
+    }
+    out << "\n}\n";
+    std::cout << "\n[BENCH_" << name_ << ".json written: " << values_.size()
+              << " metrics]\n";
+  }
+
+ private:
+  std::string name_;
+  std::map<std::string, std::variant<double, std::string>> values_;
+  bool flushed_ = false;
+};
 
 inline void section(const std::string& title, const std::string& claim) {
   std::cout << "\n=== " << title << " ===\n";

@@ -1,0 +1,80 @@
+#include "common/thread_pool.h"
+
+namespace streammpc {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = threads == 0 ? 1 : threads;
+  // The calling thread works too, so spawn one fewer worker.
+  workers_.reserve(n - 1);
+  for (unsigned i = 0; i + 1 < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    while (next_index_ < job_count_) {
+      const std::size_t i = next_index_++;
+      lock.unlock();
+      try {
+        (*job_)(i);
+      } catch (...) {
+        lock.lock();
+        if (!first_error_) first_error_ = std::current_exception();
+        lock.unlock();
+      }
+      lock.lock();
+      if (--remaining_ == 0) done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  job_ = &fn;
+  job_count_ = count;
+  next_index_ = 0;
+  remaining_ = count;
+  first_error_ = nullptr;
+  ++generation_;
+  wake_.notify_all();
+  // The calling thread drains indices alongside the workers.
+  while (next_index_ < job_count_) {
+    const std::size_t i = next_index_++;
+    lock.unlock();
+    try {
+      fn(i);
+    } catch (...) {
+      lock.lock();
+      if (!first_error_) first_error_ = std::current_exception();
+      lock.unlock();
+    }
+    lock.lock();
+    if (--remaining_ == 0) done_.notify_all();
+  }
+  done_.wait(lock, [&] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+}  // namespace streammpc

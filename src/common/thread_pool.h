@@ -1,0 +1,55 @@
+// Minimal persistent worker pool for the bank-parallel ingest axis.
+//
+// Sketch banks share no mutable state, so a batch of edge updates can fan
+// out one task per bank with no synchronization beyond the join barrier —
+// the result is bit-identical for any thread count (each bank's updates
+// stay sequential in batch order).  The pool is created once and reused;
+// parallel_for blocks until every index has been processed and rethrows
+// the first task exception on the calling thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace streammpc {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (at least 1).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Runs fn(i) for every i in [0, count), distributing indices across the
+  // pool (the calling thread participates).  Blocks until all complete.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void work_until_done();
+
+  std::mutex mu_;
+  std::condition_variable wake_;   // workers wait for a job
+  std::condition_variable done_;   // parallel_for waits for completion
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_count_ = 0;
+  std::size_t next_index_ = 0;
+  std::size_t remaining_ = 0;
+  std::uint64_t generation_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace streammpc

@@ -23,9 +23,12 @@ void AgmStaticConnectivity::apply(const Update& update) {
 void AgmStaticConnectivity::apply_batch(const Batch& batch) {
   if (cluster_ != nullptr) cluster_->begin_phase();
   mpc::broadcast(cluster_, batch.size(), "agm/sketch-update");
+  delta_scratch_.clear();
   for (const Update& u : batch) {
-    sketches_.update_edge(u.e, u.type == UpdateType::kInsert ? +1 : -1);
+    delta_scratch_.push_back(
+        EdgeDelta{u.e, u.type == UpdateType::kInsert ? +1 : -1});
   }
+  sketches_.update_edges(delta_scratch_);
   if (cluster_ != nullptr)
     cluster_->set_usage("agm/sketches", sketches_.allocated_words());
 }
@@ -50,7 +53,8 @@ AgmStaticConnectivity::query_spanning_forest() {
     bool progress = false;
     for (const auto& [root, members] : supernodes) {
       const auto e = sketches_.sample_boundary(
-          level, std::span<const VertexId>(members.data(), members.size()));
+          level, std::span<const VertexId>(members.data(), members.size()),
+          cut_query_scratch_);
       if (e && dsu.unite(e->u, e->v)) {
         result.forest.push_back(*e);
         progress = true;

@@ -52,6 +52,8 @@ class AgmStaticConnectivity {
   VertexId n_;
   mpc::Cluster* cluster_;
   VertexSketches sketches_;
+  std::vector<EdgeDelta> delta_scratch_;  // reused batch-ingest buffer
+  L0Sampler cut_query_scratch_;  // reused merged sampler for query levels
 };
 
 }  // namespace streammpc

@@ -65,9 +65,11 @@ void DynamicConnectivity::apply_inserts(const std::vector<Update>& ins) {
   stats_.inserts += ins.size();
 
   // Sketch updates: broadcast the batch; every machine updates the
-  // endpoint sketches it hosts (§6.1).
+  // endpoint sketches it hosts (§6.1).  One batched, bank-parallel ingest.
   mpc::broadcast(cluster_, ins.size(), "connectivity/sketch-update");
-  for (const Update& u : ins) sketches_.update_edge(u.e, +1);
+  delta_scratch_.clear();
+  for (const Update& u : ins) delta_scratch_.push_back(EdgeDelta{u.e, +1});
+  sketches_.update_edges(delta_scratch_);
 
   // Auxiliary graph H over affected components (Claim 6.1): one vertex per
   // component, one edge per insert joining two distinct components; its
@@ -114,7 +116,9 @@ void DynamicConnectivity::apply_deletes(const std::vector<Update>& del) {
   stats_.deletes += del.size();
 
   mpc::broadcast(cluster_, del.size(), "connectivity/sketch-update");
-  for (const Update& u : del) sketches_.update_edge(u.e, -1);
+  delta_scratch_.clear();
+  for (const Update& u : del) delta_scratch_.push_back(EdgeDelta{u.e, -1});
+  sketches_.update_edges(delta_scratch_);
 
   std::vector<Edge> cuts;
   std::vector<VertexId> touched;
@@ -179,7 +183,8 @@ void DynamicConnectivity::apply_deletes(const std::vector<Update>& del) {
     bool any_union = false;
     for (const auto& [root, verts] : group_vertices) {
       const auto edge = sketches_.sample_boundary(
-          bank, std::span<const VertexId>(verts.data(), verts.size()));
+          bank, std::span<const VertexId>(verts.data(), verts.size()),
+          cut_query_scratch_);
       if (!edge) continue;
       any_edge = true;
       // Both endpoints necessarily lie in fragments of the same original
@@ -249,14 +254,16 @@ void DynamicConnectivity::bootstrap(std::span<const Edge> edges) {
   Dsu dsu(n_);
   std::vector<Edge> forest_edges;
   std::vector<VertexId> touched;
+  delta_scratch_.clear();
   for (const Edge& e : edges) {
-    sketches_.update_edge(e, +1);
+    delta_scratch_.push_back(EdgeDelta{e, +1});
     ++stats_.inserts;
     if (dsu.unite(e.u, e.v)) {
       forest_edges.push_back(e);
       touched.push_back(e.u);
     }
   }
+  sketches_.update_edges(delta_scratch_);
   stats_.tree_inserts += forest_edges.size();
   forest_.batch_link(forest_edges);
   relabel_trees_of(touched);

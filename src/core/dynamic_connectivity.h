@@ -123,6 +123,8 @@ class DynamicConnectivity {
   VertexSketches sketches_;
   EulerTourForest forest_;
   std::vector<VertexId> labels_;
+  std::vector<EdgeDelta> delta_scratch_;  // reused batch-ingest buffer
+  L0Sampler cut_query_scratch_;  // reused merged sampler for Boruvka queries
   Stats stats_;
 };
 

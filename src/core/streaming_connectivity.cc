@@ -50,12 +50,47 @@ void StreamingConnectivity::relabel(const std::vector<VertexId>& vertices,
   for (const VertexId v : vertices) labels_[v] = label;
 }
 
+void StreamingConnectivity::apply_stream(std::span<const Update> updates) {
+  // Buffer sketch deltas between cut queries: the sketch state is only
+  // *read* when a tree edge is deleted, so every run of inserts and
+  // non-tree deletions can flow through the batched ingest path.  The
+  // forest/label bookkeeping still runs per update, in order.
+  std::vector<EdgeDelta> pending;
+  pending.reserve(updates.size());
+  const auto flush = [&] {
+    sketches_.update_edges(pending);
+    pending.clear();
+  };
+  for (const Update& update : updates) {
+    const Edge e = make_edge(update.e.u, update.e.v);
+    SMPC_CHECK(e.v < n_);
+    if (update.type == UpdateType::kInsert) {
+      ++stats_.inserts;
+      pending.push_back(EdgeDelta{e, +1});
+      insert_forest(e.u, e.v);
+    } else {
+      SMPC_CHECK_MSG(labels_[e.u] == labels_[e.v],
+                     "deleting an edge whose endpoints are disconnected");
+      ++stats_.deletes;
+      pending.push_back(EdgeDelta{e, -1});
+      if (forest_adj_[e.u].count(e.v) > 0) flush();  // cut query ahead
+      erase_forest(e.u, e.v);
+    }
+  }
+  flush();
+}
+
 void StreamingConnectivity::insert(VertexId u, VertexId v) {
   const Edge e = make_edge(u, v);
   SMPC_CHECK(e.v < n_);
   ++stats_.inserts;
   // Line 1 of Algorithm 2: the sketches always absorb the update.
   sketches_.update_edge(e, +1);
+  insert_forest(u, v);
+}
+
+void StreamingConnectivity::insert_forest(VertexId u, VertexId v) {
+  const Edge e = make_edge(u, v);
   if (labels_[u] == labels_[v]) return;  // non-tree edge
   // Merge: the side with the larger label adopts the smaller one (the
   // component id stays the minimum vertex id of the component).
@@ -75,6 +110,11 @@ void StreamingConnectivity::erase(VertexId u, VertexId v) {
                  "deleting an edge whose endpoints are disconnected");
   ++stats_.deletes;
   sketches_.update_edge(e, -1);
+  erase_forest(u, v);
+}
+
+void StreamingConnectivity::erase_forest(VertexId u, VertexId v) {
+  const Edge e = make_edge(u, v);
   const auto it = forest_adj_[e.u].find(e.v);
   if (it == forest_adj_[e.u].end()) return;  // non-tree edge: done
   ++stats_.tree_deletes;
@@ -90,8 +130,10 @@ void StreamingConnectivity::erase(VertexId u, VertexId v) {
   // (Observation 4.3); rotate banks so consecutive deletions use fresh
   // randomness.
   const unsigned bank = next_bank_++ % sketches_.banks();
-  const auto replacement = sketches_.sample_boundary(
-      bank, std::span<const VertexId>(zu.data(), zu.size()));
+  const auto replacement =
+      sketches_.sample_boundary(bank,
+                                std::span<const VertexId>(zu.data(), zu.size()),
+                                cut_query_scratch_);
   if (replacement.has_value()) {
     ++stats_.replacements_found;
     forest_adj_[replacement->u].insert(replacement->v);

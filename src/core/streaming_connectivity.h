@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "graph/types.h"
@@ -45,6 +46,13 @@ class StreamingConnectivity {
   void insert(VertexId u, VertexId v);
   void erase(VertexId u, VertexId v);
   void apply(const Update& update);
+
+  // Applies a whole stream segment.  Equivalent to apply() in order, but
+  // sketch deltas are buffered and flushed through the batched bank-
+  // parallel ingest path; the buffer is flushed before every tree-edge
+  // deletion so each cut query sees exactly the prefix it would have seen
+  // under single-update processing.
+  void apply_stream(std::span<const Update> updates);
 
   // --- queries ---------------------------------------------------------------
   VertexId component_of(VertexId v) const { return labels_[v]; }
@@ -70,6 +78,10 @@ class StreamingConnectivity {
   // Collects the vertices of u's tree in F via BFS (the Z_u of §4.2).
   std::vector<VertexId> collect_tree(VertexId u) const;
   void relabel(const std::vector<VertexId>& vertices, VertexId label);
+  // Forest-only halves of insert/erase, shared by the single-update and
+  // buffered-stream paths (the sketch delta is applied separately).
+  void insert_forest(VertexId u, VertexId v);
+  void erase_forest(VertexId u, VertexId v);
 
   VertexId n_;
   VertexSketches sketches_;
@@ -78,6 +90,7 @@ class StreamingConnectivity {
   std::size_t components_;
   std::size_t forest_edges_ = 0;
   unsigned next_bank_ = 0;
+  L0Sampler cut_query_scratch_;  // reused merged sampler for deletions
   Stats stats_;
 };
 

@@ -1,0 +1,144 @@
+#include "sketch/arena.h"
+
+#include "common/check.h"
+
+namespace streammpc {
+
+BankArena::BankArena(VertexId n, const L0Params& params)
+    : n_(n),
+      levels_(params.levels()),
+      hot_levels_(params.levels() < kHotLevels ? params.levels()
+                                               : kHotLevels),
+      rows_(params.shape().rows),
+      cells_per_level_(params.cells_per_level()),
+      hot_cells_(cells_per_level_ * hot_levels_),
+      overflow_(levels_ - hot_levels_) {}
+
+std::uint32_t BankArena::page_for(Store& store, VertexId v,
+                                  std::size_t cells) {
+  if (store.page_of.empty()) store.page_of.assign(n_, kNoPage);
+  std::uint32_t page = store.page_of[v];
+  if (page == kNoPage) {
+    page = store.pages++;
+    store.page_of[v] = page;
+    const std::size_t size = static_cast<std::size_t>(store.pages) * cells;
+    store.w.resize(size, 0);
+    store.s.resize(size, 0);
+    store.fp.resize(size, 0);
+  }
+  return page;
+}
+
+BankArena::Store& BankArena::overflow_store(unsigned level) {
+  return overflow_[level - hot_levels_];
+}
+
+void BankArena::apply(VertexId v, Coord c, std::int64_t delta,
+                      const CoordPlan& plan, bool negated) {
+  const __int128 s_delta = static_cast<__int128>(c) * delta;
+  const std::uint64_t* terms =
+      negated ? plan.term_neg.data() : plan.term_pos.data();
+  // Hot prefix: one page lookup covers levels 0..min(depth, hot-1).
+  {
+    const std::size_t base =
+        static_cast<std::size_t>(page_for(hot_, v, hot_cells_)) * hot_cells_;
+    const unsigned top = plan.depth < hot_levels_ ? plan.depth
+                                                  : hot_levels_ - 1;
+    for (unsigned j = 0; j <= top; ++j) {
+      const std::uint64_t term = terms[j];
+      const std::uint32_t* offsets =
+          plan.offsets.data() + static_cast<std::size_t>(j) * rows_;
+      const std::size_t level_base = base + j * cells_per_level_;
+      for (unsigned r = 0; r < rows_; ++r) {
+        const std::size_t cell = level_base + offsets[r];
+        hot_.w[cell] += delta;
+        hot_.s[cell] += s_delta;
+        hot_.fp[cell] = Mersenne61::add(hot_.fp[cell], term);
+      }
+    }
+  }
+  // Rare deep levels (depth >= hot happens with probability 2^-hot).
+  for (unsigned j = hot_levels_; j <= plan.depth; ++j) {
+    Store& store = overflow_store(j);
+    const std::size_t base =
+        static_cast<std::size_t>(page_for(store, v, cells_per_level_)) *
+        cells_per_level_;
+    const std::uint64_t term = terms[j];
+    const std::uint32_t* offsets =
+        plan.offsets.data() + static_cast<std::size_t>(j) * rows_;
+    for (unsigned r = 0; r < rows_; ++r) {
+      const std::size_t cell = base + offsets[r];
+      store.w[cell] += delta;
+      store.s[cell] += s_delta;
+      store.fp[cell] = Mersenne61::add(store.fp[cell], term);
+    }
+  }
+}
+
+void BankArena::merge_into(const L0Params& params,
+                           std::span<const VertexId> vertices,
+                           L0Sampler& out) const {
+  out.reset(params);
+  const std::span<OneSparseCell> cells = out.mutable_cells(params);
+  unsigned active = 0;
+  if (!hot_.page_of.empty()) {
+    OneSparseCell* dst = cells.data();  // hot pages mirror levels 0..hot-1
+    for (const VertexId v : vertices) {
+      SMPC_CHECK(v < n_);
+      const std::uint32_t page = hot_.page_of[v];
+      if (page == kNoPage) continue;
+      const std::size_t base = static_cast<std::size_t>(page) * hot_cells_;
+      for (std::size_t i = 0; i < hot_cells_; ++i) {
+        dst[i].add_raw(hot_.w[base + i], hot_.s[base + i], hot_.fp[base + i]);
+      }
+      active = hot_levels_;
+    }
+  }
+  for (unsigned j = hot_levels_; j < levels_; ++j) {
+    const Store& store = overflow_[j - hot_levels_];
+    if (store.page_of.empty()) continue;
+    OneSparseCell* dst = cells.data() + j * cells_per_level_;
+    bool touched = false;
+    for (const VertexId v : vertices) {
+      SMPC_CHECK(v < n_);
+      const std::uint32_t page = store.page_of[v];
+      if (page == kNoPage) continue;
+      touched = true;
+      const std::size_t base =
+          static_cast<std::size_t>(page) * cells_per_level_;
+      for (std::size_t i = 0; i < cells_per_level_; ++i) {
+        dst[i].add_raw(store.w[base + i], store.s[base + i],
+                       store.fp[base + i]);
+      }
+    }
+    if (touched) active = j + 1;
+  }
+  out.set_active_levels(active);
+}
+
+L0Sampler BankArena::extract(const L0Params& params, VertexId v) const {
+  SMPC_CHECK(v < n_);
+  L0Sampler out;
+  const auto has_page = [v](const Store& store) {
+    return !store.page_of.empty() && store.page_of[v] != kNoPage;
+  };
+  bool touched = has_page(hot_);
+  for (const Store& store : overflow_) touched = touched || has_page(store);
+  // An untouched vertex stays a zero-allocation sampler, matching the
+  // seed accessor's behavior.
+  if (touched) merge_into(params, std::span<const VertexId>(&v, 1), out);
+  return out;
+}
+
+std::uint64_t BankArena::allocated_words() const {
+  // A cell is 4 words (w 1, s 2, fp 1); page maps count half a word per
+  // vertex entry.
+  std::uint64_t words = hot_.w.size() * 4 + hot_.page_of.size() / 2;
+  for (const Store& store : overflow_) {
+    words += store.w.size() * 4;
+    words += store.page_of.size() / 2;
+  }
+  return words;
+}
+
+}  // namespace streammpc

@@ -1,0 +1,103 @@
+// Flat per-bank arena for the AGM vertex sketches.
+//
+// The seed implementation stored bank b as vector<L0Sampler> with each
+// sampler owning vector<SSparseRecovery> owning vector<OneSparseCell> —
+// three levels of pointer chasing and one small heap allocation per
+// (vertex, level) on the edge-update hot path.  The arena replaces that
+// with contiguous structure-of-arrays cell storage, split by level depth
+// to match the geometric level distribution (depth >= j with probability
+// 2^-j, so almost every update ends within the first few levels):
+//
+//   * a *hot store*: one page map (vertex -> page, kNoPage when untouched)
+//     and three parallel arrays (w, s, fp) of per-vertex pages covering
+//     levels 0..kHotLevels-1 — cell (vertex, level, row, bucket) lives at
+//     page(vertex) * hot_cells + level * rows * buckets + row * buckets +
+//     bucket, so ~94% of updates resolve with a single map lookup into one
+//     contiguous page;
+//   * *overflow stores*: one lazily created (map + arrays) store per deep
+//     level >= kHotLevels, allocation granularity matching the seed's lazy
+//     per-(vertex, level) grids, so rare deep levels never force a full
+//     O(log n)-level page and total memory stays ~O(n);
+//   * empty vertices cost one kNoPage map entry and nothing else.
+//
+// Banks share no state, which is what makes batched ingest embarrassingly
+// parallel across banks (see VertexSketches::update_edges).  All cell
+// arithmetic matches OneSparseCell exactly, so for a fixed seed the arena
+// is bit-identical to the seed's nested storage.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "sketch/l0sampler.h"
+
+namespace streammpc {
+
+class BankArena {
+ public:
+  BankArena(VertexId n, const L0Params& params);
+
+  // Applies a planned coordinate update to vertex v's cells.  `delta` is
+  // the signed weight for THIS endpoint (already negated for the min
+  // endpoint); `negated` selects the matching precomputed fingerprint
+  // terms from the plan.
+  void apply(VertexId v, Coord c, std::int64_t delta, const CoordPlan& plan,
+             bool negated);
+
+  // Element-wise sum of the vertices' cells into `out` (Lemma 3.5's S_A).
+  // Resets `out` first and reuses its buffer — no allocation after the
+  // first call with the same scratch sampler.
+  void merge_into(const L0Params& params, std::span<const VertexId> vertices,
+                  L0Sampler& out) const;
+
+  // Copy of one vertex's sampler (zero sampler if the vertex is untouched).
+  L0Sampler extract(const L0Params& params, VertexId v) const;
+
+  // Hints the hot page-map entries of an upcoming edge's endpoints into
+  // cache; the ingest loop calls this one edge ahead so the map lookups
+  // in apply() overlap with the current edge's hash computation.
+  void prefetch(Edge e) const {
+    if (hot_.page_of.empty()) return;
+    __builtin_prefetch(hot_.page_of.data() + e.u);
+    __builtin_prefetch(hot_.page_of.data() + e.v);
+  }
+
+  // Words of cell and page-map storage currently allocated.
+  std::uint64_t allocated_words() const;
+
+  // Per-bank scratch plan, owned here so concurrent bank tasks never share
+  // a buffer.
+  CoordPlan& plan_scratch() { return plan_; }
+
+ private:
+  static constexpr std::uint32_t kNoPage = ~0u;
+  // Levels resolved through the single hot page map; depth >= kHotLevels
+  // has probability 2^-kHotLevels.
+  static constexpr unsigned kHotLevels = 1;
+
+  // One page map plus SoA cell pages of `cells` cells each.
+  struct Store {
+    std::vector<std::uint32_t> page_of;  // [vertex] -> page index or kNoPage
+    std::vector<std::int64_t> w;         // [page * cells + cell]
+    std::vector<__int128> s;
+    std::vector<std::uint64_t> fp;
+    std::uint32_t pages = 0;
+  };
+
+  std::uint32_t page_for(Store& store, VertexId v, std::size_t cells);
+  Store& overflow_store(unsigned level);
+
+  VertexId n_;
+  unsigned levels_;
+  unsigned hot_levels_;  // min(kHotLevels, levels_)
+  unsigned rows_;
+  std::size_t cells_per_level_;
+  std::size_t hot_cells_;  // hot_levels_ * cells_per_level_
+  Store hot_;              // levels 0..hot_levels_-1, map sized on demand
+  std::vector<Store> overflow_;  // [level - hot_levels_], maps lazily sized
+  CoordPlan plan_;
+};
+
+}  // namespace streammpc

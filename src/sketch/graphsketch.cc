@@ -1,40 +1,102 @@
 #include "sketch/graphsketch.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "common/check.h"
 #include "common/random.h"
 
 namespace streammpc {
 
+namespace {
+// Below this batch size the per-dispatch cost of waking the pool exceeds
+// the bank-parallel win; single updates always take the serial path.
+constexpr std::size_t kParallelBatchMin = 4;
+
+unsigned resolve_threads(unsigned configured, unsigned banks) {
+  if (configured == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    configured = hw == 0 ? 1 : hw;
+  }
+  return std::min(configured, banks);
+}
+}  // namespace
+
 VertexSketches::VertexSketches(VertexId n, const GraphSketchConfig& config)
-    : n_(n), codec_(n) {
+    : n_(n),
+      codec_(n),
+      ingest_threads_(resolve_threads(config.ingest_threads, config.banks)) {
   SMPC_CHECK(config.banks >= 1);
   SplitMix64 sm(config.seed);
   params_.reserve(config.banks);
-  samplers_.resize(config.banks);
+  arenas_.reserve(config.banks);
   for (unsigned b = 0; b < config.banks; ++b) {
     params_.emplace_back(codec_.dimension(), config.shape, sm.next());
-    samplers_[b].resize(n);
+    arenas_.emplace_back(n, params_.back());
   }
 }
 
+ThreadPool* VertexSketches::pool() {
+  if (ingest_threads_ <= 1) return nullptr;
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(ingest_threads_);
+  return pool_.get();
+}
+
 void VertexSketches::update_edge(Edge e, std::int64_t delta) {
-  SMPC_CHECK(e.u < e.v && e.v < n_);
-  const Coord c = codec_.encode(e);
-  for (unsigned b = 0; b < banks(); ++b) {
-    // Paper's sign convention: +1 at the max endpoint, -1 at the min.
-    samplers_[b][e.v].update(params_[b], c, delta);
-    samplers_[b][e.u].update(params_[b], c, -delta);
+  const EdgeDelta one{e, delta};
+  update_edges(std::span<const EdgeDelta>(&one, 1));
+}
+
+void VertexSketches::update_edges(std::span<const EdgeDelta> batch) {
+  if (batch.empty()) return;
+  // Encode coordinates once for all banks (and validate up front, so a bad
+  // edge throws before any bank has been mutated).
+  coord_scratch_.resize(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Edge e = batch[i].e;
+    SMPC_CHECK(e.u < e.v && e.v < n_);
+    coord_scratch_[i] = codec_.encode(e);
   }
+  const auto ingest_bank = [&](std::size_t b) {
+    BankArena& arena = arenas_[b];
+    const L0Params& params = params_[b];
+    CoordPlan& plan = arena.plan_scratch();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::int64_t delta = batch[i].delta;
+      if (delta == 0) continue;
+      if (i + 1 < batch.size()) arena.prefetch(batch[i + 1].e);
+      const Coord c = coord_scratch_[i];
+      params.plan_coord(c, delta, plan);
+      // Paper's sign convention: +delta at the max endpoint, -delta at the
+      // min endpoint.  Both share the plan computed above.
+      arena.apply(batch[i].e.v, c, delta, plan, /*negated=*/false);
+      arena.apply(batch[i].e.u, c, -delta, plan, /*negated=*/true);
+    }
+  };
+  ThreadPool* p = batch.size() >= kParallelBatchMin ? pool() : nullptr;
+  if (p != nullptr) {
+    p->parallel_for(banks(), ingest_bank);
+  } else {
+    for (unsigned b = 0; b < banks(); ++b) {
+      // Cross-bank lookahead: the next bank's page-map entries load while
+      // this bank hashes (the only lookahead available for tiny batches).
+      if (b + 1 < banks()) arenas_[b + 1].prefetch(batch.front().e);
+      ingest_bank(b);
+    }
+  }
+}
+
+void VertexSketches::merged_into(unsigned bank,
+                                 std::span<const VertexId> vertices,
+                                 L0Sampler& out) const {
+  SMPC_CHECK(bank < banks());
+  arenas_[bank].merge_into(params_[bank], vertices, out);
 }
 
 L0Sampler VertexSketches::merged(unsigned bank,
                                  std::span<const VertexId> vertices) const {
-  SMPC_CHECK(bank < banks());
   L0Sampler acc;
-  for (VertexId v : vertices) {
-    SMPC_CHECK(v < n_);
-    acc.merge(params_[bank], samplers_[bank][v]);
-  }
+  merged_into(bank, vertices, acc);
   return acc;
 }
 
@@ -46,14 +108,21 @@ std::optional<Edge> VertexSketches::decode_sample(unsigned bank,
 }
 
 std::optional<Edge> VertexSketches::sample_boundary(
+    unsigned bank, std::span<const VertexId> vertices,
+    L0Sampler& scratch) const {
+  merged_into(bank, vertices, scratch);
+  return decode_sample(bank, scratch);
+}
+
+std::optional<Edge> VertexSketches::sample_boundary(
     unsigned bank, std::span<const VertexId> vertices) const {
-  return decode_sample(bank, merged(bank, vertices));
+  L0Sampler scratch;
+  return sample_boundary(bank, vertices, scratch);
 }
 
 std::uint64_t VertexSketches::allocated_words() const {
   std::uint64_t total = 0;
-  for (const auto& bank : samplers_)
-    for (const auto& s : bank) total += s.words();
+  for (const BankArena& arena : arenas_) total += arena.allocated_words();
   return total;
 }
 

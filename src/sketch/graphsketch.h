@@ -11,13 +11,26 @@
 // a vertex set is the merge of bank b over its vertices and yields a random
 // boundary edge (Lemma 3.5).  Banks are consumed one per Boruvka level so
 // that each query uses fresh randomness.
+//
+// Storage and ingest (this repo's performance layer, see DESIGN.md):
+//   * each bank's cells live in a flat SoA arena (sketch/arena.h) instead
+//     of nested per-vertex vectors;
+//   * update_edges() ingests a whole batch, planning each coordinate's
+//     hashes and fingerprint terms once per bank and applying them to both
+//     endpoints, with banks fanned out across a thread pool — banks share
+//     no state, so any thread count gives bit-identical sketches;
+//   * merged()/sample_boundary() take an optional scratch sampler so
+//     delete-time cut queries stop allocating per call.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "common/thread_pool.h"
+#include "sketch/arena.h"
 #include "sketch/coord.h"
 #include "sketch/l0sampler.h"
 
@@ -27,6 +40,15 @@ struct GraphSketchConfig {
   unsigned banks = 12;  // t: independent sketches per vertex
   L0Shape shape{2, 8};  // per-level s-sparse geometry
   std::uint64_t seed = 0x5eedULL;
+  // Worker threads for batched ingest: 0 = auto (min(hardware, banks)),
+  // 1 = serial.  The sketch contents never depend on this value.
+  unsigned ingest_threads = 0;
+};
+
+// One signed edge update for the batch ingest path.
+struct EdgeDelta {
+  Edge e;
+  std::int64_t delta = 1;  // +1 insert, -1 delete
 };
 
 class VertexSketches {
@@ -41,20 +63,33 @@ class VertexSketches {
   // sketches of both endpoints in every bank.
   void update_edge(Edge e, std::int64_t delta);
 
+  // Batched ingest: applies every delta to both endpoints in every bank.
+  // Equivalent to calling update_edge per element (linearity), but plans
+  // each coordinate once per bank and runs banks in parallel.
+  void update_edges(std::span<const EdgeDelta> batch);
+
   // Merged sampler of bank `bank` over a vertex set (Lemma 3.5's S_A).
+  // The _into variant reuses `out`'s buffer across calls.
   L0Sampler merged(unsigned bank, std::span<const VertexId> vertices) const;
+  void merged_into(unsigned bank, std::span<const VertexId> vertices,
+                   L0Sampler& out) const;
 
   // Samples a boundary edge of the vertex set from bank `bank`; nullopt if
-  // the boundary is (w.h.p.) empty or the sampler failed.
+  // the boundary is (w.h.p.) empty or the sampler failed.  The scratch
+  // overload avoids allocating a fresh merged sampler per query.
   std::optional<Edge> sample_boundary(unsigned bank,
                                       std::span<const VertexId> vertices) const;
+  std::optional<Edge> sample_boundary(unsigned bank,
+                                      std::span<const VertexId> vertices,
+                                      L0Sampler& scratch) const;
 
   // Decodes a sampler's output into an edge.
   std::optional<Edge> decode_sample(unsigned bank, const L0Sampler& s) const;
 
   const L0Params& params(unsigned bank) const { return params_[bank]; }
-  const L0Sampler& sampler(unsigned bank, VertexId v) const {
-    return samplers_[bank][v];
+  // Copy of one vertex's sampler in one bank (zero sampler if untouched).
+  L0Sampler sampler(unsigned bank, VertexId v) const {
+    return arenas_[bank].extract(params_[bank], v);
   }
 
   // --- memory accounting -----------------------------------------------------
@@ -65,10 +100,15 @@ class VertexSketches {
   std::uint64_t nominal_words_per_vertex() const;
 
  private:
+  ThreadPool* pool();
+
   VertexId n_;
   EdgeCoordCodec codec_;
-  std::vector<L0Params> params_;              // one per bank
-  std::vector<std::vector<L0Sampler>> samplers_;  // [bank][vertex]
+  unsigned ingest_threads_;
+  std::vector<L0Params> params_;   // one per bank
+  std::vector<BankArena> arenas_;  // one per bank
+  std::vector<Coord> coord_scratch_;
+  std::unique_ptr<ThreadPool> pool_;  // lazily created for ingest_threads > 1
 };
 
 }  // namespace streammpc

@@ -5,22 +5,19 @@
 
 namespace streammpc {
 
-namespace {
-// Maps a signed delta into GF(p).
-std::uint64_t to_field(std::int64_t delta) {
+std::uint64_t field_encode_delta(std::int64_t delta) {
   if (delta >= 0) return Mersenne61::reduce(static_cast<std::uint64_t>(delta));
   const std::uint64_t mag =
       Mersenne61::reduce(static_cast<std::uint64_t>(-delta));
   return Mersenne61::sub(0, mag);
 }
-}  // namespace
 
 void OneSparseCell::update(Coord c, std::int64_t delta, std::uint64_t z) {
   if (delta == 0) return;
   w_ += delta;
   s_ += static_cast<__int128>(c) * delta;
   fp_ = Mersenne61::add(fp_,
-                        Mersenne61::mul(to_field(delta), Mersenne61::pow(z, c)));
+                        Mersenne61::mul(field_encode_delta(delta), Mersenne61::pow(z, c)));
 }
 
 void OneSparseCell::merge(const OneSparseCell& other) {
@@ -38,7 +35,7 @@ std::optional<OneSparseResult> OneSparseCell::decode(
   if (cand < 0 || cand >= static_cast<__int128>(dimension)) return std::nullopt;
   const Coord c = static_cast<Coord>(cand);
   const std::uint64_t expected =
-      Mersenne61::mul(to_field(w_), Mersenne61::pow(z, c));
+      Mersenne61::mul(field_encode_delta(w_), Mersenne61::pow(z, c));
   if (expected != fp_) return std::nullopt;
   return OneSparseResult{c, w_};
 }

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "common/field.h"
 #include "sketch/coord.h"
 
 namespace streammpc {
@@ -24,11 +25,31 @@ struct OneSparseResult {
   std::int64_t weight = 0;
 };
 
+// Maps a signed delta into GF(p = 2^61 - 1).
+std::uint64_t field_encode_delta(std::int64_t delta);
+
 class OneSparseCell {
  public:
   // `z` is the shared fingerprint base (same across all cells that may be
   // merged together); `dimension` bounds valid coordinates.
   void update(Coord c, std::int64_t delta, std::uint64_t z);
+
+  // Hot-path variant: `term` is the precomputed fingerprint increment
+  // field_encode_delta(delta) * z^c, shared by every cell the coordinate
+  // touches in one level (and, negated, by the opposite endpoint).
+  void apply_term(Coord c, std::int64_t delta, std::uint64_t term) {
+    w_ += delta;
+    s_ += static_cast<__int128>(c) * delta;
+    fp_ = Mersenne61::add(fp_, term);
+  }
+
+  // Component-wise accumulation from raw cell state (the arena's SoA
+  // arrays); equivalent to merge() of a cell holding exactly (w, s, fp).
+  void add_raw(std::int64_t w, __int128 s, std::uint64_t fp) {
+    w_ += w;
+    s_ += s;
+    fp_ = Mersenne61::add(fp_, fp);
+  }
 
   void merge(const OneSparseCell& other);
 

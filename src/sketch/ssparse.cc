@@ -15,6 +15,9 @@ SSparseParams::SSparseParams(SSparseShape shape, std::uint64_t dimension,
   SplitMix64 sm(seed);
   z_ = Mersenne61::reduce(sm.next());
   if (z_ < 2) z_ += 2;  // avoid degenerate fingerprint bases 0/1
+  z_squares_[0] = Mersenne61::reduce(z_);
+  for (unsigned i = 1; i < 64; ++i)
+    z_squares_[i] = Mersenne61::mul(z_squares_[i - 1], z_squares_[i - 1]);
   row_hashes_.reserve(shape.rows);
   for (unsigned r = 0; r < shape.rows; ++r)
     row_hashes_.emplace_back(sm.next());
@@ -33,10 +36,14 @@ void SSparseRecovery::update(const SSparseParams& params, Coord c,
   if (delta == 0) return;
   ensure(params);
   const unsigned buckets = params.shape().buckets;
+  // One fingerprint term per update, shared across rows (every row's cell
+  // receives the same delta * z^c increment).
+  const std::uint64_t term =
+      Mersenne61::mul(field_encode_delta(delta), params.pow_z(c));
   for (unsigned r = 0; r < params.shape().rows; ++r) {
     const std::uint64_t b = params.row_bucket(r, c);
-    cells_[static_cast<std::size_t>(r) * buckets + b].update(c, delta,
-                                                             params.z());
+    cells_[static_cast<std::size_t>(r) * buckets + b].apply_term(c, delta,
+                                                                 term);
   }
 }
 
@@ -49,11 +56,10 @@ void SSparseRecovery::merge(const SSparseParams& params,
     cells_[i].merge(other.cells_[i]);
 }
 
-std::vector<OneSparseResult> SSparseRecovery::recover(
-    const SSparseParams& params) const {
+std::vector<OneSparseResult> recover_cells(
+    const SSparseParams& params, std::span<const OneSparseCell> cells) {
   std::vector<OneSparseResult> out;
-  if (!allocated()) return out;
-  for (const OneSparseCell& cell : cells_) {
+  for (const OneSparseCell& cell : cells) {
     if (auto r = cell.decode(params.z(), params.dimension())) {
       out.push_back(*r);
     }
@@ -68,6 +74,13 @@ std::vector<OneSparseResult> SSparseRecovery::recover(
                         }),
             out.end());
   return out;
+}
+
+std::vector<OneSparseResult> SSparseRecovery::recover(
+    const SSparseParams& params) const {
+  if (!allocated()) return {};
+  return recover_cells(
+      params, std::span<const OneSparseCell>(cells_.data(), cells_.size()));
 }
 
 bool SSparseRecovery::is_zero() const {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/hashing.h"
@@ -36,12 +37,33 @@ class SSparseParams {
     return row_hashes_[row].bucket(c, shape_.buckets);
   }
 
+  // z^c via a precomputed table of repeated squares — the same product, in
+  // the same multiplication order, as Mersenne61::pow(z, c), but without
+  // recomputing the squares on every call.  This is the dominant cost of a
+  // cell update, so the ingest path computes it once per (bank, level) and
+  // reuses it across rows and both edge endpoints.
+  std::uint64_t pow_z(Coord c) const {
+    std::uint64_t acc = 1;
+    for (unsigned i = 0; c != 0; ++i, c >>= 1) {
+      if (c & 1) acc = Mersenne61::mul(acc, z_squares_[i]);
+    }
+    return acc;
+  }
+
  private:
   SSparseShape shape_;
   std::uint64_t dimension_;
   std::uint64_t z_;  // fingerprint base
+  std::uint64_t z_squares_[64];  // z^(2^i)
   std::vector<PairwiseHash> row_hashes_;
 };
+
+// Decodes every 1-sparse cell of a grid slice and returns the recovered
+// coordinates sorted and deduplicated.  Shared by SSparseRecovery and the
+// flat L0Sampler/arena storage, which hold the same row-major cell layout
+// without the per-level heap object.
+std::vector<OneSparseResult> recover_cells(const SSparseParams& params,
+                                           std::span<const OneSparseCell> cells);
 
 class SSparseRecovery {
  public:
