@@ -1,12 +1,14 @@
 // E11 — end-to-end ingest throughput through the flat-arena sketch engine.
 //
-// Measures the edge-update hot path at four altitudes:
+// Measures the edge-update hot path at five altitudes:
 //   * raw sketches, single updates (update_edge) — legacy vs flat engine;
 //   * raw sketches, batched updates (update_edges) with a bank-parallel
 //     thread sweep;
+//   * routed batches through the simulated MPC cluster (route_batch +
+//     per-machine CommLedger accounting, §5/§6) at several machine counts;
 //   * the AGM baseline structure absorbing insert batches (§4.1);
 //   * streaming connectivity consuming a mixed insert/delete stream
-//     through the buffered apply_stream path (§4.2).
+//     through the buffered apply_stream path (§4.2), routed on a cluster.
 //
 // Emits the paper-style table on stdout and BENCH_ingest.json for the
 // cross-PR perf trajectory.  `--quick` shrinks the workload for CI smoke
@@ -22,6 +24,7 @@
 #include "graph/generators.h"
 #include "graph/streams.h"
 #include "legacy_sketch_ref.h"
+#include "mpc/cluster.h"
 #include "sketch/graphsketch.h"
 
 namespace streammpc {
@@ -120,6 +123,48 @@ void run(const IngestConfig& cfg) {
              ops);
   }
 
+  // Routed ingest: the same batches split per simulated machine
+  // (mpc::Cluster::route_batch) with CommLedger accounting — the honest
+  // §5/§6 path.  Routing overhead vs the flat batch path is the price of
+  // per-machine delta accounting.
+  for (const std::uint64_t machines : {4u, 16u}) {
+    mpc::MpcConfig mc;
+    mc.n = cfg.n;
+    mc.phi = 0.5;
+    mc.machines = machines;
+    mpc::Cluster cluster(mc);
+    GraphSketchConfig serial = sketch;
+    serial.ingest_threads = 1;
+    VertexSketches vs(cfg.n, serial);
+    mpc::RoutedBatch routed;
+    bench::Timer timer;
+    for (int rep = 0; rep < cfg.repeats; ++rep) {
+      for (std::size_t start = 0; start < deltas.size();
+           start += cfg.batch_size) {
+        const std::size_t len =
+            std::min(cfg.batch_size, deltas.size() - start);
+        std::span<EdgeDelta> chunk(deltas.data() + start, len);
+        for (EdgeDelta& d : chunk) d.delta = (rep & 1) ? -1 : +1;
+        cluster.route_batch(chunk, cfg.n, routed);
+        cluster.charge_routed(routed, "bench/routed-ingest");
+        vs.update_edges(routed);
+      }
+    }
+    const double ops = ops_per_sec(edges.size() * cfg.repeats, timer.seconds());
+    t.add_row()
+        .cell("routed update_edges, " + std::to_string(machines) + " machines")
+        .cell(std::uint64_t{1})
+        .cell(ops, 0)
+        .cell(ops / legacy_ops, 2);
+    const std::string key = "routed.machines_" + std::to_string(machines);
+    const mpc::CommLedger& ledger = cluster.comm_ledger();
+    json.set(key + ".ops_per_sec", ops);
+    json.set(key + ".ledger_rounds", ledger.rounds());
+    json.set(key + ".ledger_total_words", ledger.total_words());
+    json.set(key + ".ledger_max_machine_load", ledger.max_machine_load());
+    if (machines == 16) std::cout << ledger.report();
+  }
+
   // AGM baseline structure absorbing insert batches end-to-end.
   {
     AgmStaticConnectivity agm(cfg.n, sketch);
@@ -150,7 +195,12 @@ void run(const IngestConfig& cfg) {
     churn.delete_fraction = 0.3;
     const auto batches = gen::churn_stream(churn, sc_rng);
     GraphSketchConfig sc_sketch = sketch;
-    StreamingConnectivity sc(sc_n, sc_sketch);
+    mpc::MpcConfig sc_mc;
+    sc_mc.n = sc_n;
+    sc_mc.phi = 0.5;
+    sc_mc.machines = 8;
+    mpc::Cluster sc_cluster(sc_mc);
+    StreamingConnectivity sc(sc_n, sc_sketch, &sc_cluster);
     std::size_t updates = 0;
     bench::Timer timer;
     for (const Batch& batch : batches) {
@@ -162,6 +212,12 @@ void run(const IngestConfig& cfg) {
         .cell(ops, 0).cell(0.0, 2);
     json.set("streaming.apply_stream_ops_per_sec", ops);
     json.set("streaming.updates", static_cast<std::uint64_t>(updates));
+    const mpc::CommLedger& ledger = sc_cluster.comm_ledger();
+    json.set("streaming.ledger_rounds", ledger.rounds());
+    json.set("streaming.ledger_total_words", ledger.total_words());
+    json.set("streaming.ledger_max_machine_load", ledger.max_machine_load());
+    std::cout << "streaming connectivity on " << sc_mc.machines
+              << " machines: " << ledger.report();
   }
 
   t.print(std::cout);

@@ -55,6 +55,11 @@ int main() {
     std::cout << " {" << e.u << "," << e.v << "}";
   std::cout << "\n\ntotal memory: " << connectivity.memory_words()
             << " words (~O(n), independent of the number of edges)\n";
+
+  // 6. Communication accounting: every batch was routed to the machines
+  // hosting the affected endpoint sketches; the ledger shows the §5/§6
+  // per-machine view (rounds, total words, worst single-machine load).
+  std::cout << "\n" << cluster.comm_ledger().report();
   std::cout << "cluster healthy: " << (cluster.ok() ? "yes" : "no") << "\n";
   return 0;
 }

@@ -1,7 +1,6 @@
 #include "core/agm_static.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/check.h"
 #include "graph/reference.h"
@@ -14,21 +13,25 @@ AgmStaticConnectivity::AgmStaticConnectivity(VertexId n,
                                              mpc::Cluster* cluster)
     : n_(n), cluster_(cluster), sketches_(n, sketch) {}
 
+void AgmStaticConnectivity::ingest_deltas() {
+  routed_ingest(cluster_, n_, delta_scratch_, "agm/sketch-update", sketches_,
+                routed_scratch_);
+}
+
 void AgmStaticConnectivity::apply(const Update& update) {
-  mpc::broadcast(cluster_, 1, "agm/sketch-update");
-  sketches_.update_edge(update.e,
-                        update.type == UpdateType::kInsert ? +1 : -1);
+  delta_scratch_.assign(
+      1, EdgeDelta{update.e, update.type == UpdateType::kInsert ? +1 : -1});
+  ingest_deltas();
 }
 
 void AgmStaticConnectivity::apply_batch(const Batch& batch) {
   if (cluster_ != nullptr) cluster_->begin_phase();
-  mpc::broadcast(cluster_, batch.size(), "agm/sketch-update");
   delta_scratch_.clear();
   for (const Update& u : batch) {
     delta_scratch_.push_back(
         EdgeDelta{u.e, u.type == UpdateType::kInsert ? +1 : -1});
   }
-  sketches_.update_edges(delta_scratch_);
+  ingest_deltas();
   if (cluster_ != nullptr)
     cluster_->set_usage("agm/sketches", sketches_.allocated_words());
 }
@@ -39,6 +42,8 @@ AgmStaticConnectivity::query_spanning_forest() {
       cluster_ != nullptr ? cluster_->rounds() : 0;
   QueryResult result;
   Dsu dsu(n_);
+  std::vector<VertexId> vertex_ids(n_);
+  for (VertexId v = 0; v < n_; ++v) vertex_ids[v] = v;
   unsigned level = 0;
   for (; level < sketches_.banks(); ++level) {
     // One Boruvka level: merge each supernode's sketches (bank `level`)
@@ -48,13 +53,19 @@ AgmStaticConnectivity::query_spanning_forest() {
                            "agm/query-level");
       cluster_->charge_comm(n_);
     }
-    std::unordered_map<VertexId, std::vector<VertexId>> supernodes;
-    for (VertexId v = 0; v < n_; ++v) supernodes[dsu.find(v)].push_back(v);
+    // Supernode CSR (group id = first appearance of the DSU root in vertex
+    // order — deterministic); one level-at-a-time arena pass answers every
+    // supernode's boundary query together.
+    group_csr_.build(
+        n_, [&](std::size_t v) { return dsu.find(static_cast<VertexId>(v)); },
+        [&](std::size_t v) {
+          return std::span<const VertexId>(&vertex_ids[v], 1);
+        });
+    sketches_.sample_boundaries(level, group_csr_.members(),
+                                group_csr_.offsets(), group_scratch_,
+                                group_samples_);
     bool progress = false;
-    for (const auto& [root, members] : supernodes) {
-      const auto e = sketches_.sample_boundary(
-          level, std::span<const VertexId>(members.data(), members.size()),
-          cut_query_scratch_);
+    for (const auto& e : group_samples_) {
       if (e && dsu.unite(e->u, e->v)) {
         result.forest.push_back(*e);
         progress = true;

@@ -29,7 +29,9 @@ class AgmStaticConnectivity {
 
   VertexId n() const { return n_; }
 
-  // O(1)-round updates: only the endpoint sketches change.
+  // O(1)-round updates: only the endpoint sketches change.  With a cluster
+  // attached, the batch is routed per machine (Cluster::route_batch) and
+  // its per-machine delta loads are charged on the cluster's CommLedger.
   void apply(const Update& update);
   void apply_batch(const Batch& batch);
 
@@ -49,11 +51,18 @@ class AgmStaticConnectivity {
   const VertexSketches& sketches() const { return sketches_; }
 
  private:
+  // Routes delta_scratch_ through the cluster when one is attached.
+  void ingest_deltas();
+
   VertexId n_;
   mpc::Cluster* cluster_;
   VertexSketches sketches_;
   std::vector<EdgeDelta> delta_scratch_;  // reused batch-ingest buffer
-  L0Sampler cut_query_scratch_;  // reused merged sampler for query levels
+  mpc::RoutedBatch routed_scratch_;       // reused per-machine sub-batches
+  // Reused buffers for the level-at-a-time Boruvka queries.
+  GroupCsr group_csr_;
+  std::vector<L0Sampler> group_scratch_;
+  std::vector<std::optional<Edge>> group_samples_;
 };
 
 }  // namespace streammpc

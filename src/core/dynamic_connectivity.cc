@@ -61,15 +61,21 @@ void DynamicConnectivity::apply_batch(const Batch& batch) {
   publish_usage();
 }
 
+void DynamicConnectivity::ingest_deltas(const std::string& label) {
+  // Route the batch to the machines hosting the affected endpoint sketches
+  // (§6.1) and charge the actual per-machine delta loads — not a flat
+  // broadcast — on the cluster's CommLedger.
+  routed_ingest(cluster_, n_, delta_scratch_, label, sketches_,
+                routed_scratch_);
+}
+
 void DynamicConnectivity::apply_inserts(const std::vector<Update>& ins) {
   stats_.inserts += ins.size();
 
-  // Sketch updates: broadcast the batch; every machine updates the
-  // endpoint sketches it hosts (§6.1).  One batched, bank-parallel ingest.
-  mpc::broadcast(cluster_, ins.size(), "connectivity/sketch-update");
+  // Sketch updates: one routed, batched, bank-parallel ingest.
   delta_scratch_.clear();
   for (const Update& u : ins) delta_scratch_.push_back(EdgeDelta{u.e, +1});
-  sketches_.update_edges(delta_scratch_);
+  ingest_deltas("connectivity/sketch-update");
 
   // Auxiliary graph H over affected components (Claim 6.1): one vertex per
   // component, one edge per insert joining two distinct components; its
@@ -115,10 +121,9 @@ void DynamicConnectivity::apply_inserts(const std::vector<Update>& ins) {
 void DynamicConnectivity::apply_deletes(const std::vector<Update>& del) {
   stats_.deletes += del.size();
 
-  mpc::broadcast(cluster_, del.size(), "connectivity/sketch-update");
   delta_scratch_.clear();
   for (const Update& u : del) delta_scratch_.push_back(EdgeDelta{u.e, -1});
-  sketches_.update_edges(delta_scratch_);
+  ingest_deltas("connectivity/sketch-update");
 
   std::vector<Edge> cuts;
   std::vector<VertexId> touched;
@@ -169,22 +174,27 @@ void DynamicConnectivity::apply_deletes(const std::vector<Update>& del) {
   unsigned empty_streak = 0;
   while (bank < banks) {
     ++stats_.boruvka_levels;
-    // Group the fragments and build each group's vertex list.
-    std::unordered_map<VertexId, std::vector<VertexId>> group_vertices;
-    for (std::uint32_t i = 0; i < fragments.size(); ++i) {
-      const VertexId root = groups.find(static_cast<VertexId>(i));
-      auto& verts = group_vertices[root];
-      const auto& members = forest_.members_of(fragments[i]);
-      verts.insert(verts.end(), members.begin(), members.end());
-    }
-    if (group_vertices.size() <= 1) break;
+    // Group the fragments (group id = first appearance of the DSU root in
+    // fragment order — deterministic) and lay every group's vertex list
+    // out as one CSR, so the whole level is answered by a single
+    // level-at-a-time pass over the bank's arena.
+    group_csr_.build(
+        fragments.size(),
+        [&](std::size_t i) {
+          return groups.find(static_cast<VertexId>(i));
+        },
+        [&](std::size_t i) {
+          const auto& members = forest_.members_of(fragments[i]);
+          return std::span<const VertexId>(members.data(), members.size());
+        });
+    if (group_csr_.groups() <= 1) break;
+    sketches_.sample_boundaries(bank, group_csr_.members(),
+                                group_csr_.offsets(), group_scratch_,
+                                group_samples_);
 
     bool any_edge = false;
     bool any_union = false;
-    for (const auto& [root, verts] : group_vertices) {
-      const auto edge = sketches_.sample_boundary(
-          bank, std::span<const VertexId>(verts.data(), verts.size()),
-          cut_query_scratch_);
+    for (const auto& edge : group_samples_) {
       if (!edge) continue;
       any_edge = true;
       // Both endpoints necessarily lie in fragments of the same original
@@ -247,7 +257,6 @@ void DynamicConnectivity::bootstrap(std::span<const Edge> edges) {
     while ((1ULL << lg) < n_) ++lg;
     cluster_->add_rounds(cluster_->sort_rounds(edges.size()) + lg,
                          "connectivity/bootstrap");
-    cluster_->charge_comm(2 * edges.size());
   }
   // Sketches absorb every edge; the spanning forest comes from one local
   // static computation, installed with a single batch join.
@@ -263,7 +272,7 @@ void DynamicConnectivity::bootstrap(std::span<const Edge> edges) {
       touched.push_back(e.u);
     }
   }
-  sketches_.update_edges(delta_scratch_);
+  ingest_deltas("connectivity/bootstrap");
   stats_.tree_inserts += forest_edges.size();
   forest_.batch_link(forest_edges);
   relabel_trees_of(touched);

@@ -64,7 +64,8 @@ class DynamicConnectivity {
 
   // Processes one phase's batch: insertions first, then deletions (§1.2).
   // Offsetting insert/delete pairs of the same edge within one batch are
-  // cancelled out first.
+  // cancelled out first.  With a cluster attached, sketch deltas are routed
+  // per machine (Cluster::route_batch) and charged on its CommLedger.
   void apply_batch(const Batch& batch);
 
   // Pre-computation phase (§1.1): initialize from an arbitrary static
@@ -115,6 +116,9 @@ class DynamicConnectivity {
   void apply_inserts(const std::vector<Update>& ins);
   void apply_deletes(const std::vector<Update>& del);
   void relabel_trees_of(const std::vector<VertexId>& touched);
+  // Routes delta_scratch_ through the cluster (per-machine accounting under
+  // `label`) when one is attached, flat ingest otherwise.
+  void ingest_deltas(const std::string& label);
   void publish_usage();
 
   VertexId n_;
@@ -124,7 +128,11 @@ class DynamicConnectivity {
   EulerTourForest forest_;
   std::vector<VertexId> labels_;
   std::vector<EdgeDelta> delta_scratch_;  // reused batch-ingest buffer
-  L0Sampler cut_query_scratch_;  // reused merged sampler for Boruvka queries
+  mpc::RoutedBatch routed_scratch_;       // reused per-machine sub-batches
+  // Reused buffers for the level-at-a-time Boruvka queries.
+  GroupCsr group_csr_;
+  std::vector<L0Sampler> group_scratch_;
+  std::vector<std::optional<Edge>> group_samples_;
   Stats stats_;
 };
 

@@ -8,13 +8,20 @@
 namespace streammpc {
 
 StreamingConnectivity::StreamingConnectivity(VertexId n,
-                                             GraphSketchConfig sketch)
+                                             GraphSketchConfig sketch,
+                                             mpc::Cluster* cluster)
     : n_(n),
+      cluster_(cluster),
       sketches_(n, sketch),
       forest_adj_(n),
       labels_(n),
       components_(n) {
   for (VertexId v = 0; v < n; ++v) labels_[v] = v;
+}
+
+void StreamingConnectivity::ingest(std::span<const EdgeDelta> deltas) {
+  routed_ingest(cluster_, n_, deltas, "streaming/sketch-update", sketches_,
+                routed_scratch_);
 }
 
 void StreamingConnectivity::apply(const Update& update) {
@@ -55,10 +62,11 @@ void StreamingConnectivity::apply_stream(std::span<const Update> updates) {
   // *read* when a tree edge is deleted, so every run of inserts and
   // non-tree deletions can flow through the batched ingest path.  The
   // forest/label bookkeeping still runs per update, in order.
+  if (cluster_ != nullptr) cluster_->begin_phase();
   std::vector<EdgeDelta> pending;
   pending.reserve(updates.size());
   const auto flush = [&] {
-    sketches_.update_edges(pending);
+    ingest(pending);
     pending.clear();
   };
   for (const Update& update : updates) {
@@ -85,7 +93,8 @@ void StreamingConnectivity::insert(VertexId u, VertexId v) {
   SMPC_CHECK(e.v < n_);
   ++stats_.inserts;
   // Line 1 of Algorithm 2: the sketches always absorb the update.
-  sketches_.update_edge(e, +1);
+  const EdgeDelta d{e, +1};
+  ingest(std::span<const EdgeDelta>(&d, 1));
   insert_forest(u, v);
 }
 
@@ -109,7 +118,8 @@ void StreamingConnectivity::erase(VertexId u, VertexId v) {
   SMPC_CHECK_MSG(labels_[u] == labels_[v],
                  "deleting an edge whose endpoints are disconnected");
   ++stats_.deletes;
-  sketches_.update_edge(e, -1);
+  const EdgeDelta d{e, -1};
+  ingest(std::span<const EdgeDelta>(&d, 1));
   erase_forest(u, v);
 }
 

@@ -32,13 +32,20 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "mpc/cluster.h"
 #include "sketch/graphsketch.h"
 
 namespace streammpc {
 
 class StreamingConnectivity {
  public:
-  explicit StreamingConnectivity(VertexId n, GraphSketchConfig sketch = {});
+  // With a non-null `cluster`, every sketch-delta flush is routed through
+  // mpc::Cluster::route_batch and charged per machine on the cluster's
+  // CommLedger (the §5 view of the §4 algorithm); with nullptr the
+  // structure runs unaccounted, single-machine.  Routing never changes the
+  // sketch state, so results are identical either way.
+  explicit StreamingConnectivity(VertexId n, GraphSketchConfig sketch = {},
+                                 mpc::Cluster* cluster = nullptr);
 
   VertexId n() const { return n_; }
 
@@ -52,6 +59,12 @@ class StreamingConnectivity {
   // parallel ingest path; the buffer is flushed before every tree-edge
   // deletion so each cut query sees exactly the prefix it would have seen
   // under single-update processing.
+  //
+  // Preconditions: endpoints < n(); deletions only of edges whose endpoints
+  // are currently connected (a valid stream).  Not thread-safe against
+  // concurrent mutation or queries.  Deterministic: for a fixed sketch
+  // seed, the resulting forest/labels are identical to per-update apply()
+  // processing, with or without an attached cluster.
   void apply_stream(std::span<const Update> updates);
 
   // --- queries ---------------------------------------------------------------
@@ -82,8 +95,13 @@ class StreamingConnectivity {
   // buffered-stream paths (the sketch delta is applied separately).
   void insert_forest(VertexId u, VertexId v);
   void erase_forest(VertexId u, VertexId v);
+  // Applies buffered deltas to the sketches — routed per machine (and
+  // charged on the cluster) when a cluster is attached, flat otherwise.
+  void ingest(std::span<const EdgeDelta> deltas);
 
   VertexId n_;
+  mpc::Cluster* cluster_;
+  mpc::RoutedBatch routed_scratch_;
   VertexSketches sketches_;
   std::vector<std::set<VertexId>> forest_adj_;
   std::vector<VertexId> labels_;

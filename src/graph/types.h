@@ -50,6 +50,15 @@ struct WeightedEdge {
   friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
 };
 
+// One signed edge update for the batched sketch-ingest path: +1 insert,
+// -1 delete (0 is a no-op).  Defined here rather than in sketch/ so the
+// MPC routing layer (mpc::Cluster::route_batch) can split delta batches
+// into per-machine sub-batches without depending on the sketch engine.
+struct EdgeDelta {
+  Edge e;
+  std::int64_t delta = 1;
+};
+
 enum class UpdateType : std::uint8_t { kInsert, kDelete };
 
 // One stream update.  Weight is carried for the weighted problems (MSF);

@@ -62,6 +62,78 @@ Cluster::Cluster(const MpcConfig& config) : config_(config) {
     machines_ = (budget + local_capacity_ - 1) / local_capacity_;
   }
   if (machines_ < 1) machines_ = 1;
+  ledger_.reset(machines_);
+}
+
+std::uint64_t Cluster::machine_of(std::uint64_t v, std::uint64_t universe) const {
+  SMPC_CHECK(universe >= 1 && v < universe);
+  // floor(v * P / universe): contiguous blocks, balanced to within one
+  // vertex; 128-bit intermediate so v * P never overflows.
+  return static_cast<std::uint64_t>(
+      static_cast<__uint128_t>(v) * machines_ / universe);
+}
+
+void Cluster::route_batch(std::span<const EdgeDelta> batch,
+                          std::uint64_t universe, RoutedBatch& out) const {
+  // A delta is delivered at most twice, so this bounds every CSR offset
+  // (checked up front — the offsets are 32-bit and must never wrap).
+  SMPC_CHECK_MSG(batch.size() <= UINT32_MAX / 2,
+                 "routed batch too large for 32-bit CSR offsets");
+  out.offsets.assign(machines_ + 1, 0);
+  out.load_words.assign(machines_, 0);
+  out.items.clear();
+  out.machine_scratch.resize(2 * batch.size());
+  // Counting pass: each delta lands on its endpoints' machine(s); the
+  // machine pairs are cached so the filling pass skips the divides.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::uint64_t mu = machine_of(batch[i].e.u, universe);
+    const std::uint64_t mv = machine_of(batch[i].e.v, universe);
+    out.machine_scratch[2 * i] = mu;
+    out.machine_scratch[2 * i + 1] = mv;
+    ++out.offsets[mu + 1];
+    if (mv != mu) ++out.offsets[mv + 1];
+  }
+  for (std::uint64_t m = 0; m < machines_; ++m)
+    out.offsets[m + 1] += out.offsets[m];
+  out.items.resize(out.offsets[machines_]);
+  // Filling pass via a moving cursor per machine.
+  out.cursor_scratch.assign(out.offsets.begin(), out.offsets.end() - 1);
+  std::uint32_t* cursor = out.cursor_scratch.data();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const EdgeDelta& d = batch[i];
+    const std::uint64_t mu = out.machine_scratch[2 * i];
+    const std::uint64_t mv = out.machine_scratch[2 * i + 1];
+    if (mu == mv) {
+      out.items[cursor[mu]++] =
+          RoutedBatch::Item{d, RoutedBatch::kEndpointU | RoutedBatch::kEndpointV};
+    } else {
+      out.items[cursor[mu]++] = RoutedBatch::Item{d, RoutedBatch::kEndpointU};
+      out.items[cursor[mv]++] = RoutedBatch::Item{d, RoutedBatch::kEndpointV};
+    }
+  }
+  for (std::uint64_t m = 0; m < machines_; ++m) {
+    out.load_words[m] = RoutedBatch::kWordsPerDelta *
+                        (out.offsets[m + 1] - out.offsets[m]);
+  }
+}
+
+void Cluster::charge_routed(const RoutedBatch& routed,
+                            const std::string& label) {
+  SMPC_CHECK_MSG(routed.machines() == machines_,
+                 "routed batch was built for a different machine count");
+  // Delivery is one point-to-point scatter round; every machine already
+  // knows its sub-batch boundaries from the (charged) preprocessing sort.
+  add_rounds(1, label);
+  charge_comm(routed.total_words());
+  ledger_.record_round(routed.load_words);
+  const std::uint64_t max_load = routed.max_load_words();
+  if (max_load > local_capacity_) {
+    std::ostringstream os;
+    os << "routed batch '" << label << "' delivers " << max_load
+       << " words to one machine, exceeding local memory s="
+       << local_capacity_;
+    violate(os.str());
+  }
 }
 
 void Cluster::add_rounds(std::uint64_t r, const std::string& label) {
@@ -145,6 +217,7 @@ std::string Cluster::report() const {
     os << "  usage[" << label << "] = " << w << "\n";
   os << "communication: total=" << comm_total_
      << " peak/phase=" << peak_phase_comm_ << " words\n";
+  if (ledger_.rounds() > 0) os << ledger_.report();
   if (!violations_.empty()) {
     os << "VIOLATIONS (" << violations_.size() << "):\n";
     for (const auto& v : violations_) os << "  " << v << "\n";

@@ -15,9 +15,11 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "mpc/comm_ledger.h"
 #include "mpc/config.h"
 
 namespace streammpc::mpc {
@@ -88,6 +90,37 @@ class Cluster {
   std::uint64_t phase_comm() const { return comm_total_ - phase_start_comm_; }
   std::uint64_t peak_phase_comm() const { return peak_phase_comm_; }
 
+  // --- batch routing -----------------------------------------------------------
+  // Vertex -> machine partitioner: machine hosting vertex v's sketch state
+  // when a structure over the universe [0, universe) is spread across this
+  // cluster.  Contiguous blocks, balanced to within one vertex:
+  // machine_of(v) = floor(v * machines / universe).  Deterministic (a pure
+  // function of (v, universe, machines)), monotone in v, and independent of
+  // any batch content — so routing never depends on update history.
+  // Precondition: v < universe, universe >= 1.
+  std::uint64_t machine_of(std::uint64_t v, std::uint64_t universe) const;
+
+  // Splits a flat delta batch into per-machine sub-batches under
+  // machine_of(., universe): each delta is sent to the machine(s) hosting
+  // its endpoints' sketches (twice when they differ — that duplication is
+  // the communication the model charges).  Within each sub-batch, deltas
+  // keep their batch order, so routed ingest is deterministic.  `out`'s
+  // buffers are reused across calls; no accounting happens here — pair with
+  // charge_routed() when the batch is actually delivered.  Thread-safe
+  // (const, writes only `out`).
+  void route_batch(std::span<const EdgeDelta> batch, std::uint64_t universe,
+                   RoutedBatch& out) const;
+
+  // Charges the delivery of a routed batch: one synchronous round (a
+  // point-to-point scatter), its total words of communication, and the
+  // per-machine loads into the comm ledger.  A per-machine load exceeding
+  // local memory s is a capacity violation — the §5/§6 reason batches are
+  // capped at ~O(n^phi) updates.
+  void charge_routed(const RoutedBatch& routed, const std::string& label);
+
+  const CommLedger& comm_ledger() const { return ledger_; }
+  CommLedger& comm_ledger() { return ledger_; }
+
   // --- violations ---------------------------------------------------------------
   const std::vector<std::string>& violations() const { return violations_; }
   bool ok() const { return violations_.empty(); }
@@ -116,6 +149,8 @@ class Cluster {
   std::uint64_t peak_object_ = 0;
 
   std::uint64_t comm_total_ = 0;
+
+  CommLedger ledger_;
 
   std::vector<std::string> violations_;
 };

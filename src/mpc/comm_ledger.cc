@@ -1,0 +1,57 @@
+#include "mpc/comm_ledger.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace streammpc::mpc {
+
+std::uint64_t RoutedBatch::total_words() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t w : load_words) total += w;
+  return total;
+}
+
+std::uint64_t RoutedBatch::max_load_words() const {
+  std::uint64_t max = 0;
+  for (const std::uint64_t w : load_words) max = std::max(max, w);
+  return max;
+}
+
+void CommLedger::reset(std::uint64_t machines) {
+  rounds_ = 0;
+  total_words_ = 0;
+  max_load_ = 0;
+  words_by_machine_.assign(machines, 0);
+}
+
+void CommLedger::record_round(std::span<const std::uint64_t> loads) {
+  SMPC_CHECK_MSG(loads.size() == words_by_machine_.size(),
+                 "routed load vector does not match the machine count");
+  ++rounds_;
+  for (std::size_t m = 0; m < loads.size(); ++m) {
+    words_by_machine_[m] += loads[m];
+    total_words_ += loads[m];
+    max_load_ = std::max(max_load_, loads[m]);
+  }
+}
+
+std::string CommLedger::report() const {
+  std::ostringstream os;
+  os << "comm ledger: " << rounds_ << " routed rounds over " << machines()
+     << " machines, total=" << total_words_
+     << " words, max load/round=" << max_load_ << " words\n";
+  if (!words_by_machine_.empty()) {
+    std::uint64_t busiest = 0, idle = 0;
+    for (const std::uint64_t w : words_by_machine_) {
+      busiest = std::max(busiest, w);
+      if (w == 0) ++idle;
+    }
+    os << "  cumulative busiest machine=" << busiest << " words, " << idle
+       << " machine(s) never addressed\n";
+  }
+  return os.str();
+}
+
+}  // namespace streammpc::mpc

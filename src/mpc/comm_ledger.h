@@ -1,0 +1,121 @@
+// Per-machine communication accounting for routed update batches.
+//
+// The paper's §5/§6 round and communication bounds are stated per *machine*:
+// a batch of sketch deltas is delivered to the machines hosting the affected
+// endpoint sketches, each machine must receive at most s = O(n^phi) words,
+// and the total volume over a phase is what the theorems bound.  The
+// Cluster's flat charge_comm() meters global volume only; the CommLedger
+// keeps the per-machine breakdown so max-load (the binding constraint) and
+// the load distribution are observable.
+//
+// One ledger *round* is the delivery of one routed batch
+// (Cluster::route_batch -> Cluster::charge_routed): loads[m] words arrive at
+// machine m.  The ledger accumulates
+//   * rounds            — routed delivery rounds recorded,
+//   * total_words       — sum of all loads over all rounds (== the words
+//                         charge_routed adds to Cluster::comm_total),
+//   * max_machine_load  — the largest single-round, single-machine load
+//                         (must stay <= s for the simulation to be honest),
+//   * words_by_machine  — cumulative per-machine totals, whose sum equals
+//                         total_words by construction (asserted in tests).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace streammpc::mpc {
+
+// A flat update batch split into per-machine sub-batches (CSR layout).
+//
+// Sub-batch m holds every delta with at least one endpoint hosted by
+// machine m; `endpoints` records which of the two endpoint sketches machine
+// m owns.  An edge whose endpoints live on different machines appears in
+// both machines' sub-batches (it is *sent* to both — that duplication is
+// exactly the communication the ledger charges); an intra-machine edge
+// appears once with both endpoint bits set.
+//
+// Produced by Cluster::route_batch (which reuses the vectors across calls)
+// and consumed by VertexSketches::update_edges(const RoutedBatch&).
+struct RoutedBatch {
+  // Endpoint-ownership bits: the receiving machine hosts e.u / e.v.
+  static constexpr std::uint8_t kEndpointU = 1;
+  static constexpr std::uint8_t kEndpointV = 2;
+  // Words per routed delta on the wire: the edge's two vertex ids (the
+  // delta sign rides along for free in the paper's word model, matching
+  // the 2-words-per-edge charge used elsewhere in the accounting).
+  static constexpr std::uint64_t kWordsPerDelta = 2;
+
+  struct Item {
+    EdgeDelta delta;
+    std::uint8_t endpoints = 0;  // kEndpointU | kEndpointV
+  };
+
+  std::vector<Item> items;              // grouped by machine, batch order
+  std::vector<std::uint32_t> offsets;   // [machines + 1] CSR into items
+  std::vector<std::uint64_t> load_words;  // [machines] words delivered
+  // Router scratch, reused across route_batch calls: per-delta
+  // (machine(u), machine(v)) pairs cached by the counting pass so the
+  // filling pass skips the partitioner divides, and the filling pass's
+  // per-machine write cursors.
+  std::vector<std::uint64_t> machine_scratch;
+  std::vector<std::uint32_t> cursor_scratch;
+
+  std::uint64_t machines() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  std::span<const Item> machine_items(std::uint64_t m) const {
+    return {items.data() + offsets[m],
+            static_cast<std::size_t>(offsets[m + 1] - offsets[m])};
+  }
+  std::uint64_t total_words() const;
+  // Largest per-machine load of this batch (0 for an empty batch).
+  std::uint64_t max_load_words() const;
+};
+
+// Accumulates per-machine delivery statistics across routed rounds.
+//
+// Thread-safety: none — the ledger is mutated only from the accounting
+// path (Cluster::charge_routed), which, like the rest of the Cluster, is
+// driven by a single simulation thread.  Determinism: the ledger is a pure
+// function of the recorded loads, which are themselves deterministic for a
+// fixed batch sequence and machine count.
+class CommLedger {
+ public:
+  CommLedger() = default;
+  explicit CommLedger(std::uint64_t machines) { reset(machines); }
+
+  // Clears all statistics and re-sizes to `machines`.
+  void reset(std::uint64_t machines);
+
+  // Records the delivery of one routed batch; loads.size() must equal
+  // machines().  An all-zero load vector still counts as a round (the
+  // synchronous round happens whether or not every machine receives data).
+  void record_round(std::span<const std::uint64_t> loads);
+
+  std::uint64_t machines() const { return words_by_machine_.size(); }
+  std::uint64_t rounds() const { return rounds_; }
+  std::uint64_t total_words() const { return total_words_; }
+  // Largest load any single machine received in any single round.
+  std::uint64_t max_machine_load() const { return max_load_; }
+  std::uint64_t machine_words(std::uint64_t m) const {
+    return words_by_machine_[m];
+  }
+  const std::vector<std::uint64_t>& words_by_machine() const {
+    return words_by_machine_;
+  }
+
+  // Human-readable summary (rounds, totals, load spread).
+  std::string report() const;
+
+ private:
+  std::uint64_t rounds_ = 0;
+  std::uint64_t total_words_ = 0;
+  std::uint64_t max_load_ = 0;
+  std::vector<std::uint64_t> words_by_machine_;
+};
+
+}  // namespace streammpc::mpc

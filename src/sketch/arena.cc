@@ -78,42 +78,65 @@ void BankArena::apply(VertexId v, Coord c, std::int64_t delta,
 void BankArena::merge_into(const L0Params& params,
                            std::span<const VertexId> vertices,
                            L0Sampler& out) const {
-  out.reset(params);
-  const std::span<OneSparseCell> cells = out.mutable_cells(params);
-  unsigned active = 0;
+  const std::uint32_t offsets[2] = {0,
+                                    static_cast<std::uint32_t>(vertices.size())};
+  merge_groups(params, vertices, std::span<const std::uint32_t>(offsets, 2),
+               std::span<L0Sampler>(&out, 1));
+}
+
+void BankArena::merge_groups(const L0Params& params,
+                             std::span<const VertexId> members,
+                             std::span<const std::uint32_t> offsets,
+                             std::span<L0Sampler> outs) const {
+  const std::size_t groups = outs.size();
+  SMPC_CHECK(offsets.size() == groups + 1);
+  SMPC_CHECK(offsets[groups] == members.size());
+  for (L0Sampler& out : outs) out.reset(params);
+  // Hot store first (it mirrors levels 0..hot-1), then each overflow level:
+  // level-major order means every store is walked exactly once for all
+  // groups, and the active-level watermarks rise monotonically.
   if (!hot_.page_of.empty()) {
-    OneSparseCell* dst = cells.data();  // hot pages mirror levels 0..hot-1
-    for (const VertexId v : vertices) {
-      SMPC_CHECK(v < n_);
-      const std::uint32_t page = hot_.page_of[v];
-      if (page == kNoPage) continue;
-      const std::size_t base = static_cast<std::size_t>(page) * hot_cells_;
-      for (std::size_t i = 0; i < hot_cells_; ++i) {
-        dst[i].add_raw(hot_.w[base + i], hot_.s[base + i], hot_.fp[base + i]);
+    for (std::size_t g = 0; g < groups; ++g) {
+      OneSparseCell* dst = outs[g].mutable_cells(params).data();
+      bool touched = false;
+      for (std::uint32_t i = offsets[g]; i < offsets[g + 1]; ++i) {
+        const VertexId v = members[i];
+        SMPC_CHECK(v < n_);
+        const std::uint32_t page = hot_.page_of[v];
+        if (page == kNoPage) continue;
+        const std::size_t base = static_cast<std::size_t>(page) * hot_cells_;
+        for (std::size_t c = 0; c < hot_cells_; ++c) {
+          dst[c].add_raw(hot_.w[base + c], hot_.s[base + c],
+                         hot_.fp[base + c]);
+        }
+        touched = true;
       }
-      active = hot_levels_;
+      if (touched) outs[g].set_active_levels(hot_levels_);
     }
   }
   for (unsigned j = hot_levels_; j < levels_; ++j) {
     const Store& store = overflow_[j - hot_levels_];
     if (store.page_of.empty()) continue;
-    OneSparseCell* dst = cells.data() + j * cells_per_level_;
-    bool touched = false;
-    for (const VertexId v : vertices) {
-      SMPC_CHECK(v < n_);
-      const std::uint32_t page = store.page_of[v];
-      if (page == kNoPage) continue;
-      touched = true;
-      const std::size_t base =
-          static_cast<std::size_t>(page) * cells_per_level_;
-      for (std::size_t i = 0; i < cells_per_level_; ++i) {
-        dst[i].add_raw(store.w[base + i], store.s[base + i],
-                       store.fp[base + i]);
+    for (std::size_t g = 0; g < groups; ++g) {
+      OneSparseCell* dst =
+          outs[g].mutable_cells(params).data() + j * cells_per_level_;
+      bool touched = false;
+      for (std::uint32_t i = offsets[g]; i < offsets[g + 1]; ++i) {
+        const VertexId v = members[i];
+        SMPC_CHECK(v < n_);
+        const std::uint32_t page = store.page_of[v];
+        if (page == kNoPage) continue;
+        const std::size_t base =
+            static_cast<std::size_t>(page) * cells_per_level_;
+        for (std::size_t c = 0; c < cells_per_level_; ++c) {
+          dst[c].add_raw(store.w[base + c], store.s[base + c],
+                         store.fp[base + c]);
+        }
+        touched = true;
       }
+      if (touched) outs[g].set_active_levels(j + 1);
     }
-    if (touched) active = j + 1;
   }
-  out.set_active_levels(active);
 }
 
 L0Sampler BankArena::extract(const L0Params& params, VertexId v) const {

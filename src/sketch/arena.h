@@ -52,6 +52,21 @@ class BankArena {
   void merge_into(const L0Params& params, std::span<const VertexId> vertices,
                   L0Sampler& out) const;
 
+  // Multi-set merge: merges several vertex groups at once, one *level store*
+  // at a time — the outer loop walks the hot store and then each overflow
+  // level, and within a store all groups are resolved together, so one
+  // Boruvka level's worth of groups costs one pass over the arena instead
+  // of one arena walk per group (untouched deep levels are skipped once for
+  // everybody, and each store's page map and cell arrays stay cache-resident
+  // across groups).  `members` concatenates the groups' vertex lists;
+  // `offsets` is the CSR boundary array (offsets.size() == outs.size() + 1,
+  // offsets.back() == members.size()).  Each outs[g] is reset first and its
+  // buffer reused.  Cell sums commute, so the result equals merge_into per
+  // group exactly.
+  void merge_groups(const L0Params& params, std::span<const VertexId> members,
+                    std::span<const std::uint32_t> offsets,
+                    std::span<L0Sampler> outs) const;
+
   // Copy of one vertex's sampler (zero sampler if the vertex is untouched).
   L0Sampler extract(const L0Params& params, VertexId v) const;
 

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/random.h"
+#include "mpc/cluster.h"
 
 namespace streammpc {
 
@@ -20,6 +21,18 @@ unsigned resolve_threads(unsigned configured, unsigned banks) {
   }
   return std::min(configured, banks);
 }
+
+// Normal form both update_edges overloads reduce to: one signed update with
+// the endpoint-ownership mask of the receiving machine (the flat path owns
+// both endpoints).
+struct IngestItem {
+  Edge e;
+  std::int64_t delta;
+  std::uint8_t endpoints;
+};
+
+constexpr std::uint8_t kBothEndpoints =
+    mpc::RoutedBatch::kEndpointU | mpc::RoutedBatch::kEndpointV;
 }  // namespace
 
 VertexSketches::VertexSketches(VertexId n, const GraphSketchConfig& config)
@@ -47,13 +60,14 @@ void VertexSketches::update_edge(Edge e, std::int64_t delta) {
   update_edges(std::span<const EdgeDelta>(&one, 1));
 }
 
-void VertexSketches::update_edges(std::span<const EdgeDelta> batch) {
-  if (batch.empty()) return;
+template <typename ItemAt>
+void VertexSketches::ingest_items(std::size_t count, const ItemAt& item_at) {
+  if (count == 0) return;
   // Encode coordinates once for all banks (and validate up front, so a bad
   // edge throws before any bank has been mutated).
-  coord_scratch_.resize(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const Edge e = batch[i].e;
+  coord_scratch_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Edge e = item_at(i).e;
     SMPC_CHECK(e.u < e.v && e.v < n_);
     coord_scratch_[i] = codec_.encode(e);
   }
@@ -61,29 +75,46 @@ void VertexSketches::update_edges(std::span<const EdgeDelta> batch) {
     BankArena& arena = arenas_[b];
     const L0Params& params = params_[b];
     CoordPlan& plan = arena.plan_scratch();
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      const std::int64_t delta = batch[i].delta;
-      if (delta == 0) continue;
-      if (i + 1 < batch.size()) arena.prefetch(batch[i + 1].e);
+    for (std::size_t i = 0; i < count; ++i) {
+      const IngestItem item = item_at(i);
+      if (item.delta == 0 || item.endpoints == 0) continue;
+      if (i + 1 < count) arena.prefetch(item_at(i + 1).e);
       const Coord c = coord_scratch_[i];
-      params.plan_coord(c, delta, plan);
+      params.plan_coord(c, item.delta, plan);
       // Paper's sign convention: +delta at the max endpoint, -delta at the
-      // min endpoint.  Both share the plan computed above.
-      arena.apply(batch[i].e.v, c, delta, plan, /*negated=*/false);
-      arena.apply(batch[i].e.u, c, -delta, plan, /*negated=*/true);
+      // min endpoint; both share the plan computed above.  A routed item
+      // applies only the endpoint(s) the receiving machine owns — the
+      // commutative cell sums make the union equal to flat ingest.
+      if (item.endpoints & mpc::RoutedBatch::kEndpointV)
+        arena.apply(item.e.v, c, item.delta, plan, /*negated=*/false);
+      if (item.endpoints & mpc::RoutedBatch::kEndpointU)
+        arena.apply(item.e.u, c, -item.delta, plan, /*negated=*/true);
     }
   };
-  ThreadPool* p = batch.size() >= kParallelBatchMin ? pool() : nullptr;
+  ThreadPool* p = count >= kParallelBatchMin ? pool() : nullptr;
   if (p != nullptr) {
     p->parallel_for(banks(), ingest_bank);
   } else {
     for (unsigned b = 0; b < banks(); ++b) {
       // Cross-bank lookahead: the next bank's page-map entries load while
       // this bank hashes (the only lookahead available for tiny batches).
-      if (b + 1 < banks()) arenas_[b + 1].prefetch(batch.front().e);
+      if (b + 1 < banks()) arenas_[b + 1].prefetch(item_at(0).e);
       ingest_bank(b);
     }
   }
+}
+
+void VertexSketches::update_edges(std::span<const EdgeDelta> batch) {
+  ingest_items(batch.size(), [&](std::size_t i) {
+    return IngestItem{batch[i].e, batch[i].delta, kBothEndpoints};
+  });
+}
+
+void VertexSketches::update_edges(const mpc::RoutedBatch& routed) {
+  ingest_items(routed.items.size(), [&](std::size_t i) {
+    const mpc::RoutedBatch::Item& item = routed.items[i];
+    return IngestItem{item.delta.e, item.delta.delta, item.endpoints};
+  });
 }
 
 void VertexSketches::merged_into(unsigned bank,
@@ -120,6 +151,21 @@ std::optional<Edge> VertexSketches::sample_boundary(
   return sample_boundary(bank, vertices, scratch);
 }
 
+void VertexSketches::sample_boundaries(
+    unsigned bank, std::span<const VertexId> members,
+    std::span<const std::uint32_t> offsets, std::vector<L0Sampler>& scratch,
+    std::vector<std::optional<Edge>>& out) const {
+  SMPC_CHECK(bank < banks());
+  SMPC_CHECK(!offsets.empty());
+  const std::size_t groups = offsets.size() - 1;
+  if (scratch.size() < groups) scratch.resize(groups);
+  out.resize(groups);
+  arenas_[bank].merge_groups(params_[bank], members, offsets,
+                             std::span<L0Sampler>(scratch.data(), groups));
+  for (std::size_t g = 0; g < groups; ++g)
+    out[g] = decode_sample(bank, scratch[g]);
+}
+
 std::uint64_t VertexSketches::allocated_words() const {
   std::uint64_t total = 0;
   for (const BankArena& arena : arenas_) total += arena.allocated_words();
@@ -128,6 +174,22 @@ std::uint64_t VertexSketches::allocated_words() const {
 
 std::uint64_t VertexSketches::nominal_words_per_vertex() const {
   return params_.front().nominal_words() * banks();
+}
+
+void routed_ingest(mpc::Cluster* cluster, VertexId universe,
+                   std::span<const EdgeDelta> deltas, const std::string& label,
+                   VertexSketches& sketches, mpc::RoutedBatch& routed) {
+  // An empty batch delivers nothing — charging a round for it would skew
+  // the per-structure round accounting (front ends reach here with empty
+  // delta lists on e.g. all-cancelling batches).
+  if (deltas.empty()) return;
+  if (cluster != nullptr) {
+    cluster->route_batch(deltas, universe, routed);
+    cluster->charge_routed(routed, label);
+    sketches.update_edges(routed);
+  } else {
+    sketches.update_edges(deltas);
+  }
 }
 
 }  // namespace streammpc

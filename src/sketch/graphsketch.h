@@ -23,18 +23,26 @@
 //     delete-time cut queries stop allocating per call.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "mpc/comm_ledger.h"
 #include "sketch/arena.h"
 #include "sketch/coord.h"
 #include "sketch/l0sampler.h"
 
 namespace streammpc {
+
+namespace mpc {
+class Cluster;
+}
 
 struct GraphSketchConfig {
   unsigned banks = 12;  // t: independent sketches per vertex
@@ -43,12 +51,6 @@ struct GraphSketchConfig {
   // Worker threads for batched ingest: 0 = auto (min(hardware, banks)),
   // 1 = serial.  The sketch contents never depend on this value.
   unsigned ingest_threads = 0;
-};
-
-// One signed edge update for the batch ingest path.
-struct EdgeDelta {
-  Edge e;
-  std::int64_t delta = 1;  // +1 insert, -1 delete
 };
 
 class VertexSketches {
@@ -66,7 +68,22 @@ class VertexSketches {
   // Batched ingest: applies every delta to both endpoints in every bank.
   // Equivalent to calling update_edge per element (linearity), but plans
   // each coordinate once per bank and runs banks in parallel.
+  //
+  // Preconditions: every edge normalized (u < v) and v < n(); a bad edge
+  // throws before any bank is mutated.  Not thread-safe against concurrent
+  // calls or queries on the same object (internally bank-parallel; banks
+  // share no state).  Deterministic: for a fixed seed the resulting sketch
+  // state is byte-identical for any thread count and any batch chunking.
   void update_edges(std::span<const EdgeDelta> batch);
+
+  // Routed ingest (MPC-cluster-aware batching): consumes the per-machine
+  // sub-batches produced by mpc::Cluster::route_batch, applying each routed
+  // delta only to the endpoint(s) the receiving machine owns.  Because the
+  // cells are linear and commutative, the final sketch state is
+  // byte-identical to flat update_edges() over the original batch, for any
+  // machine count — routing changes the accounting, never the sketches.
+  // Same preconditions, thread-safety, and determinism as the flat overload.
+  void update_edges(const mpc::RoutedBatch& routed);
 
   // Merged sampler of bank `bank` over a vertex set (Lemma 3.5's S_A).
   // The _into variant reuses `out`'s buffer across calls.
@@ -82,6 +99,19 @@ class VertexSketches {
   std::optional<Edge> sample_boundary(unsigned bank,
                                       std::span<const VertexId> vertices,
                                       L0Sampler& scratch) const;
+
+  // Batched group queries (the Boruvka inner loop): `members` is the
+  // concatenation of every group's vertex list, `offsets` the CSR group
+  // boundaries ([group g] = members[offsets[g]..offsets[g+1])).  Merges
+  // bank `bank` over all groups in ONE level-at-a-time pass over the arena
+  // (each level store is scanned once for every group together, instead of
+  // once per group) and decodes one boundary-edge sample per group into
+  // out[g].  `scratch` samplers are grown and reused across calls.
+  // Results are identical to calling sample_boundary per group.
+  void sample_boundaries(unsigned bank, std::span<const VertexId> members,
+                         std::span<const std::uint32_t> offsets,
+                         std::vector<L0Sampler>& scratch,
+                         std::vector<std::optional<Edge>>& out) const;
 
   // Decodes a sampler's output into an edge.
   std::optional<Edge> decode_sample(unsigned bank, const L0Sampler& s) const;
@@ -101,6 +131,12 @@ class VertexSketches {
 
  private:
   ThreadPool* pool();
+  // Shared core of both update_edges overloads: ingests `count` items,
+  // where item_at(i) yields (edge, delta, endpoint-ownership mask) — the
+  // flat path is the both-endpoints special case.  Instantiated only in
+  // graphsketch.cc.
+  template <typename ItemAt>
+  void ingest_items(std::size_t count, const ItemAt& item_at);
 
   VertexId n_;
   EdgeCoordCodec codec_;
@@ -110,5 +146,67 @@ class VertexSketches {
   std::vector<Coord> coord_scratch_;
   std::unique_ptr<ThreadPool> pool_;  // lazily created for ingest_threads > 1
 };
+
+// Deterministic CSR grouping for sample_boundaries(): assigns items
+// 0..count-1 to groups by first appearance of their key in item order (so
+// group ids never depend on hash-map iteration order) and scatters each
+// item's member vertices into one contiguous members/offsets CSR via a
+// counts + cursor pass.  Shared by the Boruvka loops of
+// DynamicConnectivity (items = tree fragments) and AgmStaticConnectivity
+// (items = single vertices).  All buffers are reused across calls.
+class GroupCsr {
+ public:
+  // key_of(i) -> the item's group key; members_of(i) -> the item's member
+  // vertices (a span that must stay valid through the call).
+  template <typename KeyOf, typename MembersOf>
+  void build(std::size_t items, const KeyOf& key_of,
+             const MembersOf& members_of) {
+    std::unordered_map<VertexId, std::uint32_t> index;
+    counts_.clear();
+    item_group_.resize(items);
+    for (std::size_t i = 0; i < items; ++i) {
+      const auto [it, fresh] = index.try_emplace(
+          key_of(i), static_cast<std::uint32_t>(counts_.size()));
+      if (fresh) counts_.push_back(0);
+      item_group_[i] = it->second;
+      counts_[it->second] += static_cast<std::uint32_t>(members_of(i).size());
+    }
+    offsets_.assign(counts_.size() + 1, 0);
+    for (std::size_t g = 0; g < counts_.size(); ++g)
+      offsets_[g + 1] = offsets_[g] + counts_[g];
+    members_.resize(offsets_.back());
+    cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+    for (std::size_t i = 0; i < items; ++i) {
+      const auto ms = members_of(i);
+      std::copy(ms.begin(), ms.end(),
+                members_.begin() + cursor_[item_group_[i]]);
+      cursor_[item_group_[i]] += static_cast<std::uint32_t>(ms.size());
+    }
+  }
+
+  std::size_t groups() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  std::span<const VertexId> members() const { return members_; }
+  std::span<const std::uint32_t> offsets() const { return offsets_; }
+
+ private:
+  std::vector<VertexId> members_;
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::uint32_t> item_group_;
+  std::vector<std::uint32_t> counts_;
+  std::vector<std::uint32_t> cursor_;
+};
+
+// The shared front-end ingest step of every tier-1 structure: routes
+// `deltas` through `cluster` under the vertex universe [0, universe)
+// (scratch-reusing `routed`), charges the per-machine loads on the
+// cluster's CommLedger under `label`, and ingests the routed sub-batches
+// into `sketches`.  With a null cluster, plain flat ingest — either way
+// the resulting sketch state is identical.  An empty batch is a no-op
+// (no round charged).
+void routed_ingest(mpc::Cluster* cluster, VertexId universe,
+                   std::span<const EdgeDelta> deltas, const std::string& label,
+                   VertexSketches& sketches, mpc::RoutedBatch& routed);
 
 }  // namespace streammpc

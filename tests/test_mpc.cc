@@ -2,6 +2,9 @@
 // accounting, memory ledger, capacity violations, primitives.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "common/check.h"
 #include "mpc/cluster.h"
 #include "mpc/config.h"
@@ -151,6 +154,119 @@ TEST(Cluster, ReportMentionsViolations) {
   Cluster c(cfg);
   c.set_usage("x", 1000);
   EXPECT_NE(c.report().find("VIOLATIONS"), std::string::npos);
+}
+
+// ---------------- batch routing & comm ledger -------------------------------------
+
+TEST(Routing, MachineOfIsBalancedContiguousAndDeterministic) {
+  MpcConfig cfg = small_config();
+  cfg.machines = 4;
+  Cluster c(cfg);
+  const std::uint64_t universe = 103;  // deliberately not divisible by 4
+  std::vector<std::uint64_t> sizes(4, 0);
+  std::uint64_t prev = 0;
+  for (std::uint64_t v = 0; v < universe; ++v) {
+    const std::uint64_t m = c.machine_of(v, universe);
+    ASSERT_LT(m, 4u);
+    ASSERT_GE(m, prev) << "partition must be monotone (contiguous blocks)";
+    prev = m;
+    ++sizes[m];
+    ASSERT_EQ(m, c.machine_of(v, universe)) << "partition must be pure";
+  }
+  const auto [lo, hi] = std::minmax_element(sizes.begin(), sizes.end());
+  EXPECT_LE(*hi - *lo, 1u) << "blocks must be balanced to within one vertex";
+}
+
+TEST(Routing, RouteBatchDeliversEveryEndpointExactlyOnce) {
+  MpcConfig cfg = small_config();
+  cfg.machines = 4;
+  Cluster c(cfg);
+  const std::uint64_t universe = 64;
+  const std::vector<streammpc::EdgeDelta> batch{
+      {streammpc::make_edge(0, 1), +1},    // same machine
+      {streammpc::make_edge(2, 63), -1},   // cross machine
+      {streammpc::make_edge(17, 40), +1},  // cross machine
+  };
+  RoutedBatch routed;
+  c.route_batch(batch, universe, routed);
+  ASSERT_EQ(routed.machines(), 4u);
+  // Every delta's u-endpoint appears exactly once, on machine_of(u), and
+  // likewise for v; nothing else is delivered.
+  std::size_t u_seen = 0, v_seen = 0;
+  for (std::uint64_t m = 0; m < routed.machines(); ++m) {
+    for (const RoutedBatch::Item& item : routed.machine_items(m)) {
+      if (item.endpoints & RoutedBatch::kEndpointU) {
+        EXPECT_EQ(m, c.machine_of(item.delta.e.u, universe));
+        ++u_seen;
+      }
+      if (item.endpoints & RoutedBatch::kEndpointV) {
+        EXPECT_EQ(m, c.machine_of(item.delta.e.v, universe));
+        ++v_seen;
+      }
+      EXPECT_NE(item.endpoints, 0);
+    }
+  }
+  EXPECT_EQ(u_seen, batch.size());
+  EXPECT_EQ(v_seen, batch.size());
+  // An intra-machine edge costs one delivery, a cross-machine edge two.
+  EXPECT_EQ(routed.items.size(), 5u);
+  EXPECT_EQ(routed.total_words(), RoutedBatch::kWordsPerDelta * 5);
+}
+
+TEST(CommLedger, TotalsEqualPerMachineSumsAcrossMachineCounts) {
+  for (const std::uint64_t machines : {1u, 4u, 16u}) {
+    CommLedger ledger(machines);
+    std::vector<std::uint64_t> loads(machines);
+    std::uint64_t expect_total = 0;
+    for (int round = 0; round < 5; ++round) {
+      for (std::uint64_t m = 0; m < machines; ++m) {
+        loads[m] = (round * 7 + m * 3) % 11;
+        expect_total += loads[m];
+      }
+      ledger.record_round(loads);
+    }
+    EXPECT_EQ(ledger.rounds(), 5u);
+    EXPECT_EQ(ledger.total_words(), expect_total);
+    std::uint64_t per_machine_sum = 0;
+    for (std::uint64_t m = 0; m < machines; ++m)
+      per_machine_sum += ledger.machine_words(m);
+    EXPECT_EQ(per_machine_sum, ledger.total_words())
+        << machines << " machines";
+    EXPECT_LE(ledger.max_machine_load(), 10u);
+    EXPECT_NE(ledger.report().find("routed rounds"), std::string::npos);
+  }
+}
+
+TEST(Routing, ChargeRoutedChargesRoundsCommAndLedger) {
+  MpcConfig cfg = small_config();
+  cfg.machines = 4;
+  Cluster c(cfg);
+  const std::vector<streammpc::EdgeDelta> batch{
+      {streammpc::make_edge(3, 900), +1}, {streammpc::make_edge(5, 6), +1}};
+  RoutedBatch routed;
+  c.route_batch(batch, cfg.n, routed);
+  const auto rounds_before = c.rounds();
+  c.charge_routed(routed, "test/route");
+  EXPECT_EQ(c.rounds(), rounds_before + 1);
+  EXPECT_EQ(c.comm_total(), routed.total_words());
+  EXPECT_EQ(c.comm_ledger().rounds(), 1u);
+  EXPECT_EQ(c.comm_ledger().total_words(), routed.total_words());
+  EXPECT_TRUE(c.ok());
+}
+
+TEST(Routing, OverloadedMachineIsACapacityViolation) {
+  MpcConfig cfg = small_config();
+  cfg.machines = 2;
+  cfg.local_memory_words = 16;  // tiny s: ten routed deltas overflow it
+  Cluster c(cfg);
+  std::vector<streammpc::EdgeDelta> batch;
+  for (streammpc::VertexId v = 1; v <= 10; ++v)
+    batch.push_back({streammpc::make_edge(0, v), +1});
+  RoutedBatch routed;
+  c.route_batch(batch, 1024, routed);
+  c.charge_routed(routed, "test/overload");
+  EXPECT_FALSE(c.ok());
+  EXPECT_NE(c.report().find("routed batch"), std::string::npos);
 }
 
 TEST(Primitives, NullClusterIsNoop) {

@@ -11,10 +11,13 @@
 #include <vector>
 
 #include "common/random.h"
+#include "core/agm_static.h"
+#include "core/dynamic_connectivity.h"
 #include "core/streaming_connectivity.h"
 #include "graph/generators.h"
 #include "graph/streams.h"
 #include "legacy_sketch_ref.h"
+#include "mpc/cluster.h"
 #include "sketch/graphsketch.h"
 #include "sketch/l0sampler.h"
 
@@ -186,6 +189,170 @@ TEST(BatchedIngest, ByteIdenticalToSeedImplementation) {
     flat.update_edges(deltas);
     for (const EdgeDelta& d : deltas) nested.update_edge(d.e, d.delta);
     expect_identical_samples(flat, nested, c.banks, probe_sets(c.n, c.seed));
+  }
+}
+
+mpc::Cluster make_cluster(VertexId n, std::uint64_t machines) {
+  mpc::MpcConfig cfg;
+  cfg.n = n;
+  cfg.phi = 0.5;
+  cfg.machines = machines;
+  return mpc::Cluster(cfg);
+}
+
+TEST(RoutedIngest, ByteIdenticalToFlatAcrossMachineCounts) {
+  // Acceptance bar for the routing layer: splitting a batch into
+  // per-machine sub-batches must not change the sketches at all — routing
+  // is an accounting transform, and the linear cells make the per-endpoint
+  // application order irrelevant.
+  const VertexId n = 96;
+  GraphSketchConfig cfg;
+  cfg.banks = 6;
+  cfg.seed = 4242;
+  const auto deltas = random_deltas(n, 400, 17);
+  const auto sets = probe_sets(n, 18);
+
+  VertexSketches flat(n, cfg);
+  flat.update_edges(deltas);
+
+  for (const std::uint64_t machines : {1u, 4u, 16u}) {
+    mpc::Cluster cluster = make_cluster(n, machines);
+    mpc::RoutedBatch routed;
+    VertexSketches via_router(n, cfg);
+    // Chunked routing, as the streaming front ends deliver it.
+    for (std::size_t start = 0; start < deltas.size(); start += 64) {
+      const std::size_t len = std::min<std::size_t>(64, deltas.size() - start);
+      cluster.route_batch(
+          std::span<const EdgeDelta>(&deltas[start], len), n, routed);
+      cluster.charge_routed(routed, "test/ingest");
+      via_router.update_edges(routed);
+    }
+    expect_identical_samples(flat, via_router, cfg.banks, sets);
+    EXPECT_EQ(flat.allocated_words(), via_router.allocated_words())
+        << machines << " machines";
+    // Accounting invariant: ledger totals equal the per-machine sums.
+    const mpc::CommLedger& ledger = cluster.comm_ledger();
+    EXPECT_EQ(ledger.rounds(), (deltas.size() + 63) / 64);
+    std::uint64_t per_machine = 0;
+    for (std::uint64_t m = 0; m < machines; ++m)
+      per_machine += ledger.machine_words(m);
+    EXPECT_EQ(per_machine, ledger.total_words());
+    EXPECT_GE(ledger.total_words(),
+              mpc::RoutedBatch::kWordsPerDelta * deltas.size());
+    EXPECT_LE(ledger.total_words(),
+              2 * mpc::RoutedBatch::kWordsPerDelta * deltas.size());
+    if (machines == 1) {
+      // One machine hosts everything: exactly one delivery per delta.
+      EXPECT_EQ(ledger.total_words(),
+                mpc::RoutedBatch::kWordsPerDelta * deltas.size());
+    }
+  }
+}
+
+TEST(GroupQueries, SampleBoundariesMatchesPerGroupQueries) {
+  // The level-at-a-time multi-set merge must answer exactly like one
+  // merged_into walk per group.
+  const VertexId n = 128;
+  GraphSketchConfig cfg;
+  cfg.banks = 5;
+  cfg.seed = 77177;
+  VertexSketches vs(n, cfg);
+  vs.update_edges(random_deltas(n, 500, 23));
+
+  Rng rng(24);
+  // Random partition of [0, n) into ~8 groups, CSR layout.
+  std::vector<std::vector<VertexId>> groups(8);
+  for (VertexId v = 0; v < n; ++v) groups[rng.below(groups.size())].push_back(v);
+  std::vector<VertexId> members;
+  std::vector<std::uint32_t> offsets{0};
+  for (const auto& g : groups) {
+    members.insert(members.end(), g.begin(), g.end());
+    offsets.push_back(static_cast<std::uint32_t>(members.size()));
+  }
+
+  std::vector<L0Sampler> scratch;
+  std::vector<std::optional<Edge>> batched;
+  for (unsigned bank = 0; bank < cfg.banks; ++bank) {
+    vs.sample_boundaries(bank, members, offsets, scratch, batched);
+    ASSERT_EQ(batched.size(), groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const std::span<const VertexId> span(groups[g].data(), groups[g].size());
+      EXPECT_EQ(batched[g], vs.sample_boundary(bank, span))
+          << "bank " << bank << " group " << g;
+    }
+  }
+}
+
+TEST(StreamingIngest, RoutedStreamMatchesUnrouted) {
+  // Attaching a cluster routes every flush per machine but must leave the
+  // algorithm's behavior untouched (same sketch state => same cut queries
+  // => same forest), while the ledger picks up the routed rounds.
+  const VertexId n = 64;
+  Rng rng(808);
+  gen::ChurnOptions churn;
+  churn.n = n;
+  churn.initial_edges = 120;
+  churn.num_batches = 8;
+  churn.batch_size = 24;
+  churn.delete_fraction = 0.4;
+  const auto batches = gen::churn_stream(churn, rng);
+
+  GraphSketchConfig cfg;
+  cfg.seed = 809;
+  mpc::Cluster cluster = make_cluster(n, 4);
+  StreamingConnectivity plain(n, cfg);
+  StreamingConnectivity routed(n, cfg, &cluster);
+  for (const Batch& batch : batches) {
+    const std::span<const Update> span(batch.data(), batch.size());
+    plain.apply_stream(span);
+    routed.apply_stream(span);
+    ASSERT_EQ(plain.num_components(), routed.num_components());
+    ASSERT_EQ(plain.spanning_forest(), routed.spanning_forest());
+  }
+  EXPECT_GT(cluster.comm_ledger().rounds(), 0u);
+  EXPECT_GT(cluster.comm_ledger().total_words(), 0u);
+  EXPECT_TRUE(cluster.ok()) << cluster.report();
+}
+
+TEST(RoutedIngest, CommLedgerReportsForDynamicAndAgmPaths) {
+  // Acceptance: every tier-1 structure reports rounds / max-load / total
+  // words through the ledger when driven through a cluster.
+  const VertexId n = 256;
+  Rng rng(909);
+  const auto edges = gen::connected_gnm(n, 700, rng);
+  const auto stream = gen::insert_stream(edges, rng);
+  const auto batches = gen::into_batches(stream, 50);
+
+  for (const std::uint64_t machines : {1u, 4u, 16u}) {
+    mpc::Cluster dyn_cluster = make_cluster(n, machines);
+    ConnectivityConfig dyn_cfg;
+    dyn_cfg.sketch.banks = 8;
+    dyn_cfg.sketch.seed = 910;
+    DynamicConnectivity dc(n, dyn_cfg, &dyn_cluster);
+    for (const auto& b : batches) dc.apply_batch(b);
+    // One routed round per batch (insert-only stream).
+    EXPECT_EQ(dyn_cluster.comm_ledger().rounds(), batches.size());
+    EXPECT_GT(dyn_cluster.comm_ledger().max_machine_load(), 0u);
+    std::uint64_t per_machine = 0;
+    for (std::uint64_t m = 0; m < machines; ++m)
+      per_machine += dyn_cluster.comm_ledger().machine_words(m);
+    EXPECT_EQ(per_machine, dyn_cluster.comm_ledger().total_words());
+
+    mpc::Cluster agm_cluster = make_cluster(n, machines);
+    GraphSketchConfig agm_cfg;
+    agm_cfg.banks = 8;
+    agm_cfg.seed = 911;
+    AgmStaticConnectivity agm(n, agm_cfg, &agm_cluster);
+    for (const auto& b : batches) agm.apply_batch(b);
+    EXPECT_EQ(agm_cluster.comm_ledger().rounds(), batches.size());
+    per_machine = 0;
+    for (std::uint64_t m = 0; m < machines; ++m)
+      per_machine += agm_cluster.comm_ledger().machine_words(m);
+    EXPECT_EQ(per_machine, agm_cluster.comm_ledger().total_words());
+    // Same stream, same word model: the ingest bill is identical across
+    // structures (it depends only on the routed deltas).
+    EXPECT_EQ(agm_cluster.comm_ledger().total_words(),
+              dyn_cluster.comm_ledger().total_words());
   }
 }
 
