@@ -1,0 +1,170 @@
+// E12 — MPC simulation sweep: max-machine-load vs local-memory headroom
+// across the phi × machines matrix.
+//
+// For every cell of phi ∈ {0.1, 0.25, 0.5} × machines ∈ {1, 4, 16, 64},
+// drives DynamicConnectivity in kSimulated execution mode (mpc::Simulator:
+// routed sub-batches ingested machine by machine under per-machine scratch
+// budgets) over the same churn stream, and charts:
+//   * s — the derived local memory (words) for that phi;
+//   * max_load — the largest single-round single-machine delivery, the
+//     binding constraint the §5/§6 theorems bound by s;
+//   * headroom = s / max_load (≥ 1 means every machine stayed within its
+//     budget; the sweep shows how headroom shrinks as phi drops and the
+//     per-machine share concentrates on fewer words);
+//   * rounds per phase (the paper's O(1/phi) headline metric) and the
+//     simulator's machine-step counts.
+//
+// Emits the table on stdout and BENCH_mpc_sweep.json for the cross-PR
+// artifact trail.  `--quick` shrinks the workload for CI smoke runs.
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_util.h"
+#include "core/dynamic_connectivity.h"
+#include "graph/generators.h"
+#include "graph/streams.h"
+#include "mpc/cluster.h"
+#include "mpc/simulator.h"
+
+namespace streammpc {
+namespace {
+
+struct SweepConfig {
+  VertexId n = 2048;
+  std::size_t initial_edges = 4096;
+  std::size_t num_batches = 24;
+  std::size_t batch_size = 64;
+};
+
+constexpr double kPhis[] = {0.1, 0.25, 0.5};
+constexpr std::uint64_t kMachineCounts[] = {1, 4, 16, 64};
+
+std::string cell_key(double phi, std::uint64_t machines,
+                     const std::string& metric) {
+  std::ostringstream os;
+  os << "phi" << phi << ".m" << machines << "." << metric;
+  return os.str();
+}
+
+void run(const SweepConfig& cfg) {
+  bench::BenchJson json("mpc_sweep");
+  json.set("config.n", static_cast<std::uint64_t>(cfg.n));
+  json.set("config.initial_edges",
+           static_cast<std::uint64_t>(cfg.initial_edges));
+  json.set("config.num_batches", static_cast<std::uint64_t>(cfg.num_batches));
+  json.set("config.batch_size", static_cast<std::uint64_t>(cfg.batch_size));
+
+  bench::section(
+      "E12: simulated per-machine execution sweep (n = " +
+          std::to_string(cfg.n) + ")",
+      "each machine processes its O(n^phi)-word share within local memory "
+      "s, in O(1/phi) rounds per batch (Theorem 6.7)");
+
+  // One stream for every cell, so loads are comparable across the matrix.
+  Rng stream_rng(12001);
+  gen::ChurnOptions churn;
+  churn.n = cfg.n;
+  churn.initial_edges = cfg.initial_edges;
+  churn.num_batches = cfg.num_batches;
+  churn.batch_size = cfg.batch_size;
+  churn.delete_fraction = 0.4;
+  const auto batches = gen::churn_stream(churn, stream_rng);
+
+  Table table({"phi", "machines", "s (words)", "max load", "headroom",
+               "avg load/mach", "rounds/phase (max)", "machine steps",
+               "overruns", "seconds"});
+  for (const double phi : kPhis) {
+    for (const std::uint64_t machines : kMachineCounts) {
+      mpc::MpcConfig mc;
+      mc.n = cfg.n;
+      mc.phi = phi;
+      mc.machines = machines;
+      mc.strict = false;  // measure headroom, never die
+      mpc::Cluster cluster(mc);
+
+      ConnectivityConfig conn;
+      conn.sketch.banks = 8;
+      conn.sketch.seed = 12002;
+      conn.exec_mode = mpc::ExecMode::kSimulated;
+      DynamicConnectivity dc(cfg.n, conn, &cluster);
+
+      bench::PhaseRounds phase_rounds;
+      bench::Timer timer;
+      for (const Batch& b : batches) {
+        dc.apply_batch(b);
+        phase_rounds.record(cluster.phase_rounds());
+      }
+      const double seconds = timer.seconds();
+
+      const mpc::CommLedger& ledger = cluster.comm_ledger();
+      const std::uint64_t s = cluster.local_capacity_words();
+      const std::uint64_t max_load = ledger.max_machine_load();
+      const double headroom =
+          max_load == 0 ? 0.0
+                        : static_cast<double>(s) / static_cast<double>(max_load);
+      const double avg_load =
+          ledger.rounds() == 0 || machines == 0
+              ? 0.0
+              : static_cast<double>(ledger.total_words()) /
+                    static_cast<double>(ledger.rounds() * machines);
+      const mpc::Simulator::Stats& sim = dc.simulator()->stats();
+
+      table.add_row()
+          .cell(phi, 2)
+          .cell(static_cast<std::int64_t>(machines))
+          .cell(static_cast<std::int64_t>(s))
+          .cell(static_cast<std::int64_t>(max_load))
+          .cell(headroom, 1)
+          .cell(avg_load, 1)
+          .cell(phase_rounds.max_rounds)
+          .cell(static_cast<std::int64_t>(sim.machine_steps))
+          .cell(static_cast<std::int64_t>(sim.budget_overruns))
+          .cell(seconds, 3);
+
+      json.set(cell_key(phi, machines, "s_words"), s);
+      json.set(cell_key(phi, machines, "max_machine_load"), max_load);
+      json.set(cell_key(phi, machines, "headroom"), headroom);
+      json.set(cell_key(phi, machines, "avg_load_per_machine"), avg_load);
+      json.set(cell_key(phi, machines, "ledger_rounds"), ledger.rounds());
+      json.set(cell_key(phi, machines, "ledger_total_words"),
+               ledger.total_words());
+      json.set(cell_key(phi, machines, "phase_rounds_max"),
+               phase_rounds.max_rounds);
+      json.set(cell_key(phi, machines, "phase_rounds_avg"), phase_rounds.avg());
+      json.set(cell_key(phi, machines, "machine_steps"), sim.machine_steps);
+      json.set(cell_key(phi, machines, "peak_step_words"), sim.peak_step_words);
+      json.set(cell_key(phi, machines, "budget_overruns"),
+               sim.budget_overruns);
+      json.set(cell_key(phi, machines, "violations"),
+               static_cast<std::uint64_t>(cluster.violations().size()));
+      json.set(cell_key(phi, machines, "seconds"), seconds);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nheadroom = s / max single-round single-machine load; the\n"
+               "simulated executor steps machines one at a time under that\n"
+               "budget and records (never hides) any overrun.\n";
+}
+
+}  // namespace
+}  // namespace streammpc
+
+int main(int argc, char** argv) {
+  streammpc::SweepConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      cfg.n = 256;
+      cfg.initial_edges = 512;
+      cfg.num_batches = 8;
+      cfg.batch_size = 32;
+    } else {
+      std::cerr << "unknown flag: " << argv[i]
+                << "\nusage: bench_mpc_sweep [--quick]\n";
+      return 2;
+    }
+  }
+  streammpc::run(cfg);
+  return 0;
+}

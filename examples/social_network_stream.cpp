@@ -17,6 +17,7 @@
 #include "graph/streams.h"
 #include "matching/dynamic_matching.h"
 #include "mpc/cluster.h"
+#include "mpc/simulator.h"
 
 using namespace streammpc;
 
@@ -32,6 +33,9 @@ int main() {
   ConnectivityConfig conn_config;
   conn_config.sketch.banks = 10;
   conn_config.sketch.seed = 7;
+  // True per-machine simulation: each routed sub-batch is ingested by its
+  // machine alone, under that machine's scratch budget.
+  conn_config.exec_mode = mpc::ExecMode::kSimulated;
   DynamicConnectivity communities(n, conn_config, &cluster);
 
   DynamicMatchingConfig match_config;
@@ -118,5 +122,10 @@ int main() {
   std::cout << "cluster healthy: " << (cluster.ok() ? "yes" : "no")
             << ", total rounds: " << cluster.rounds() << " over "
             << cluster.phases() << " phases\n";
+  const mpc::Simulator::Stats& sim = communities.simulator()->stats();
+  std::cout << "simulated execution: " << sim.machine_steps
+            << " machine steps, peak step " << sim.peak_step_words << " / "
+            << communities.simulator()->scratch_words()
+            << " scratch words, overruns: " << sim.budget_overruns << "\n";
   return 0;
 }

@@ -10,12 +10,16 @@ namespace streammpc {
 
 AgmStaticConnectivity::AgmStaticConnectivity(VertexId n,
                                              const GraphSketchConfig& sketch,
-                                             mpc::Cluster* cluster)
-    : n_(n), cluster_(cluster), sketches_(n, sketch) {}
+                                             mpc::Cluster* cluster,
+                                             mpc::ExecMode mode)
+    : n_(n), cluster_(cluster), exec_mode_(mode), sketches_(n, sketch) {
+  if (cluster_ != nullptr && exec_mode_ == mpc::ExecMode::kSimulated)
+    simulator_ = std::make_unique<mpc::Simulator>(*cluster_);
+}
 
 void AgmStaticConnectivity::ingest_deltas() {
   routed_ingest(cluster_, n_, delta_scratch_, "agm/sketch-update", sketches_,
-                routed_scratch_);
+                routed_scratch_, exec_mode_, simulator_.get());
 }
 
 void AgmStaticConnectivity::apply(const Update& update) {

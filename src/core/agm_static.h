@@ -14,18 +14,24 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/types.h"
 #include "mpc/cluster.h"
+#include "mpc/simulator.h"
 #include "sketch/graphsketch.h"
 
 namespace streammpc {
 
 class AgmStaticConnectivity {
  public:
+  // `mode` selects how update batches execute against the cluster (flat /
+  // routed-with-accounting / per-machine simulation); ignored when
+  // `cluster` is null.
   AgmStaticConnectivity(VertexId n, const GraphSketchConfig& sketch,
-                        mpc::Cluster* cluster = nullptr);
+                        mpc::Cluster* cluster = nullptr,
+                        mpc::ExecMode mode = mpc::ExecMode::kRouted);
 
   VertexId n() const { return n_; }
 
@@ -49,6 +55,8 @@ class AgmStaticConnectivity {
 
   std::uint64_t memory_words() const { return sketches_.allocated_words(); }
   const VertexSketches& sketches() const { return sketches_; }
+  // Non-null iff constructed with kSimulated mode and a cluster.
+  const mpc::Simulator* simulator() const { return simulator_.get(); }
 
  private:
   // Routes delta_scratch_ through the cluster when one is attached.
@@ -56,6 +64,8 @@ class AgmStaticConnectivity {
 
   VertexId n_;
   mpc::Cluster* cluster_;
+  mpc::ExecMode exec_mode_;
+  std::unique_ptr<mpc::Simulator> simulator_;  // kSimulated mode only
   VertexSketches sketches_;
   std::vector<EdgeDelta> delta_scratch_;  // reused batch-ingest buffer
   mpc::RoutedBatch routed_scratch_;       // reused per-machine sub-batches

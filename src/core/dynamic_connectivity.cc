@@ -42,6 +42,8 @@ DynamicConnectivity::DynamicConnectivity(VertexId n,
       sketches_(n, config.sketch),
       forest_(n, cluster),
       labels_(n) {
+  if (cluster_ != nullptr && config_.exec_mode == mpc::ExecMode::kSimulated)
+    simulator_ = std::make_unique<mpc::Simulator>(*cluster_);
   for (VertexId v = 0; v < n; ++v) labels_[v] = v;
   publish_usage();
 }
@@ -64,9 +66,10 @@ void DynamicConnectivity::apply_batch(const Batch& batch) {
 void DynamicConnectivity::ingest_deltas(const std::string& label) {
   // Route the batch to the machines hosting the affected endpoint sketches
   // (§6.1) and charge the actual per-machine delta loads — not a flat
-  // broadcast — on the cluster's CommLedger.
+  // broadcast — on the cluster's CommLedger.  In kSimulated mode the
+  // machines additionally step one at a time under their scratch budgets.
   routed_ingest(cluster_, n_, delta_scratch_, label, sketches_,
-                routed_scratch_);
+                routed_scratch_, config_.exec_mode, simulator_.get());
 }
 
 void DynamicConnectivity::apply_inserts(const std::vector<Update>& ins) {

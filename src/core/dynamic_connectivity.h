@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -38,12 +39,18 @@
 #include "euler/tour_forest.h"
 #include "graph/types.h"
 #include "mpc/cluster.h"
+#include "mpc/simulator.h"
 #include "sketch/graphsketch.h"
 
 namespace streammpc {
 
 struct ConnectivityConfig {
   GraphSketchConfig sketch;
+  // How sketch-delta batches execute against the attached cluster: flat
+  // in-process, routed-with-accounting, or machine-by-machine simulation
+  // under per-machine scratch budgets (see mpc::ExecMode / mpc::Simulator).
+  // Ignored when no cluster is attached.
+  mpc::ExecMode exec_mode = mpc::ExecMode::kRouted;
   // Stop the Boruvka replacement search after this many consecutive
   // levels in which no group recovered any edge (robustness against
   // individual sampler failures; 1 = the paper's bare loop).
@@ -94,6 +101,8 @@ class DynamicConnectivity {
   const EulerTourForest& forest() const { return forest_; }
   EulerTourForest& mutable_forest() { return forest_; }
   const VertexSketches& sketches() const { return sketches_; }
+  // Non-null iff exec_mode == kSimulated and a cluster is attached.
+  const mpc::Simulator* simulator() const { return simulator_.get(); }
 
   struct Stats {
     std::uint64_t batches = 0;
@@ -124,6 +133,7 @@ class DynamicConnectivity {
   VertexId n_;
   ConnectivityConfig config_;
   mpc::Cluster* cluster_;
+  std::unique_ptr<mpc::Simulator> simulator_;  // kSimulated mode only
   VertexSketches sketches_;
   EulerTourForest forest_;
   std::vector<VertexId> labels_;

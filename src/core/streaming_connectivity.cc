@@ -9,19 +9,23 @@ namespace streammpc {
 
 StreamingConnectivity::StreamingConnectivity(VertexId n,
                                              GraphSketchConfig sketch,
-                                             mpc::Cluster* cluster)
+                                             mpc::Cluster* cluster,
+                                             mpc::ExecMode mode)
     : n_(n),
       cluster_(cluster),
+      exec_mode_(mode),
       sketches_(n, sketch),
       forest_adj_(n),
       labels_(n),
       components_(n) {
+  if (cluster_ != nullptr && exec_mode_ == mpc::ExecMode::kSimulated)
+    simulator_ = std::make_unique<mpc::Simulator>(*cluster_);
   for (VertexId v = 0; v < n; ++v) labels_[v] = v;
 }
 
 void StreamingConnectivity::ingest(std::span<const EdgeDelta> deltas) {
   routed_ingest(cluster_, n_, deltas, "streaming/sketch-update", sketches_,
-                routed_scratch_);
+                routed_scratch_, exec_mode_, simulator_.get());
 }
 
 void StreamingConnectivity::apply(const Update& update) {

@@ -27,12 +27,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <span>
 #include <vector>
 
 #include "graph/types.h"
 #include "mpc/cluster.h"
+#include "mpc/simulator.h"
 #include "sketch/graphsketch.h"
 
 namespace streammpc {
@@ -43,9 +45,12 @@ class StreamingConnectivity {
   // mpc::Cluster::route_batch and charged per machine on the cluster's
   // CommLedger (the §5 view of the §4 algorithm); with nullptr the
   // structure runs unaccounted, single-machine.  Routing never changes the
-  // sketch state, so results are identical either way.
+  // sketch state, so results are identical either way.  `mode` selects how
+  // buffered delta flushes execute against the cluster (flat / routed /
+  // machine-by-machine simulation); ignored when `cluster` is null.
   explicit StreamingConnectivity(VertexId n, GraphSketchConfig sketch = {},
-                                 mpc::Cluster* cluster = nullptr);
+                                 mpc::Cluster* cluster = nullptr,
+                                 mpc::ExecMode mode = mpc::ExecMode::kRouted);
 
   VertexId n() const { return n_; }
 
@@ -87,6 +92,9 @@ class StreamingConnectivity {
 
   std::uint64_t memory_words() const;
 
+  // Non-null iff constructed with kSimulated mode and a cluster.
+  const mpc::Simulator* simulator() const { return simulator_.get(); }
+
  private:
   // Collects the vertices of u's tree in F via BFS (the Z_u of §4.2).
   std::vector<VertexId> collect_tree(VertexId u) const;
@@ -101,6 +109,8 @@ class StreamingConnectivity {
 
   VertexId n_;
   mpc::Cluster* cluster_;
+  mpc::ExecMode exec_mode_;
+  std::unique_ptr<mpc::Simulator> simulator_;  // kSimulated mode only
   mpc::RoutedBatch routed_scratch_;
   VertexSketches sketches_;
   std::vector<std::set<VertexId>> forest_adj_;

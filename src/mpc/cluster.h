@@ -39,6 +39,9 @@ class Cluster {
   // capacity checks use words.
   std::uint64_t record_capacity() const { return record_capacity_; }
   double phi() const { return config_.phi; }
+  // Whether capacity violations throw (strict) or are only recorded.  The
+  // Simulator mirrors this policy for its memory-budget diagnostics.
+  bool strict() const { return config_.strict; }
 
   // --- rounds ---------------------------------------------------------------
   // Charges `r` synchronous rounds attributed to `label`.

@@ -11,6 +11,22 @@
 
 namespace streammpc::mpc {
 
+// How a front-end structure ingests one update batch (see simulator.h):
+//   kFlat      — one in-process pass over the flat delta span; no routing,
+//                no per-machine accounting (the single-machine baseline).
+//   kRouted    — split per machine (Cluster::route_batch), charge the
+//                per-machine loads on the CommLedger, then ingest the
+//                routed sub-batches in one in-process pass (accounting
+//                only; the PR-2 behavior).
+//   kSimulated — deliver the routed sub-batches machine by machine through
+//                mpc::Simulator: each simulated machine steps alone under a
+//                bounded scratch budget sized from s, and an over-budget
+//                sub-batch trips MemoryBudgetExceeded instead of silently
+//                spilling (true simulation).
+// All three modes produce byte-identical sketch state (cells are linear
+// and commutative); they differ only in accounting and enforcement.
+enum class ExecMode : std::uint8_t { kFlat, kRouted, kSimulated };
+
 struct MpcConfig {
   // Number of vertices of the maintained graph; drives s = ceil(n^phi).
   std::uint64_t n = 1024;

@@ -1,0 +1,104 @@
+#include "mpc/simulator.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+#include "sketch/graphsketch.h"
+
+namespace streammpc::mpc {
+
+namespace {
+
+std::string budget_message(std::uint64_t machine, std::uint64_t needed,
+                           std::uint64_t budget, const std::string& label) {
+  std::ostringstream os;
+  os << "memory budget exceeded: machine " << machine << " needs " << needed
+     << " words for '" << label << "' but its scratch budget is " << budget
+     << " words";
+  return os.str();
+}
+
+}  // namespace
+
+MemoryBudgetExceeded::MemoryBudgetExceeded(std::uint64_t machine,
+                                           std::uint64_t needed_words,
+                                           std::uint64_t budget_words,
+                                           std::string label)
+    : std::runtime_error(
+          budget_message(machine, needed_words, budget_words, label)),
+      machine_(machine),
+      needed_words_(needed_words),
+      budget_words_(budget_words),
+      label_(std::move(label)) {}
+
+Simulator::Simulator(Cluster& cluster, std::uint64_t scratch_words)
+    : cluster_(cluster),
+      scratch_words_(scratch_words != 0 ? scratch_words
+                                        : cluster.local_capacity_words()) {}
+
+void Simulator::execute(const RoutedBatch& routed, const std::string& label,
+                        VertexSketches& sketches) {
+  const std::uint64_t machines = routed.machines();
+  order_scratch_.resize(machines);
+  for (std::uint64_t m = 0; m < machines; ++m) order_scratch_[m] = m;
+  execute(routed, label, sketches, order_scratch_);
+}
+
+void Simulator::execute(const RoutedBatch& routed, const std::string& label,
+                        VertexSketches& sketches,
+                        std::span<const std::uint64_t> order) {
+  const std::uint64_t machines = routed.machines();
+  SMPC_CHECK_MSG(machines == cluster_.machines(),
+                 "routed batch was built for a different machine count");
+  SMPC_CHECK_MSG(order.size() == machines,
+                 "machine visit order must cover every machine");
+  seen_scratch_.assign(machines, 0);
+  for (const std::uint64_t m : order) {
+    SMPC_CHECK_MSG(m < machines && !seen_scratch_[m],
+                   "machine visit order must be a permutation");
+    seen_scratch_[m] = 1;
+  }
+
+  // Budget pre-scan: a strict cluster rejects the whole batch before any
+  // machine has mutated the sketches or any round has been charged (lowest
+  // offending machine id wins, so the diagnostic is deterministic and
+  // order-independent).  Under a strict cluster the machine's local memory
+  // s binds too, even when the scratch override is larger — otherwise
+  // charge_routed below would throw CheckError *after* mutating the
+  // round/comm/ledger state, breaking the reject-whole contract.
+  const std::uint64_t strict_limit =
+      std::min(scratch_words_, cluster_.local_capacity_words());
+  for (std::uint64_t m = 0; m < machines; ++m) {
+    const std::uint64_t need = routed.load_words[m];
+    if (cluster_.strict()) {
+      if (need > strict_limit)
+        throw MemoryBudgetExceeded(m, need, strict_limit, label);
+    } else if (need > scratch_words_) {
+      ++stats_.budget_overruns;
+      stats_.worst_overrun_words =
+          std::max(stats_.worst_overrun_words, need - scratch_words_);
+    }
+  }
+
+  // Delivery: one synchronous scatter round, per-machine loads on the
+  // ledger (and, when scratch == s, the same overflow the pre-scan saw is
+  // recorded as a Cluster capacity violation).
+  cluster_.charge_routed(routed, label);
+  ++stats_.batches;
+
+  // Machine steps: the local-computation half of the delivered round.
+  // Each step touches only the sub-batch the machine received and the
+  // sketch cells of vertices it hosts; steps share no mutable state, so
+  // any visit order yields byte-identical sketches.
+  for (const std::uint64_t m : order) {
+    const std::uint64_t need = routed.load_words[m];
+    if (need == 0) continue;
+    ++stats_.machine_steps;
+    stats_.peak_step_words = std::max(stats_.peak_step_words, need);
+    sketches.ingest_machine(m, routed);
+  }
+}
+
+}  // namespace streammpc::mpc

@@ -1,0 +1,116 @@
+// True per-machine MPC simulation executor.
+//
+// PR 2's routing layer made per-machine loads *observable*: a batch is
+// split into per-machine sub-batches (Cluster::route_batch) and the loads
+// are charged on the CommLedger — but the routed sub-batches were still
+// ingested as one flat in-process pass, so the paper's core claim (each
+// machine processes its O(n^phi)-word share within its local memory s,
+// §5/§6) was accounted, never *executed*.  The Simulator closes that gap:
+// it takes a RoutedBatch and drives ingest machine by machine — each
+// simulated machine gets a bounded scratch region sized from the cluster's
+// local_capacity_words(), ingests only its own CSR sub-batch (the
+// VertexSketches::ingest_machine slice API), and a sub-batch that does not
+// fit the scratch budget trips a structured MemoryBudgetExceeded
+// diagnostic instead of silently spilling.  This mirrors how the
+// batch-dynamic MPC literature (Nowicki–Onak; Czumaj–Davies–Parter)
+// validates low-space algorithms: by stepping machines one at a time under
+// a hard memory cap.
+//
+// Round semantics: delivering the routed batch is one synchronous scatter
+// round, charged through Cluster::charge_routed exactly as in kRouted mode
+// — the machine steps themselves are the *local computation* of that round
+// (all machines work in parallel in the model; the simulation merely
+// serializes them in wall-clock), so phase_rounds() reflects the same
+// O(1/phi) schedule the theorems bound.  Because sketch cells are linear
+// and commutative, the machine visit order is irrelevant: any permutation
+// yields byte-identical sketch state, equal to flat ingest of the original
+// batch (asserted in tests/test_mpc_simulation*.cc).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mpc/cluster.h"
+#include "mpc/comm_ledger.h"
+
+namespace streammpc {
+
+class VertexSketches;
+
+namespace mpc {
+
+// Structured diagnostic: one simulated machine's sub-batch does not fit
+// its scratch budget.  Derives from std::runtime_error (not CheckError —
+// this is a *model capacity* condition the driver chose to enforce, not a
+// library invariant violation) and carries the offending geometry so
+// callers can react programmatically (shrink the batch, grow phi, ...).
+class MemoryBudgetExceeded : public std::runtime_error {
+ public:
+  MemoryBudgetExceeded(std::uint64_t machine, std::uint64_t needed_words,
+                       std::uint64_t budget_words, std::string label);
+
+  std::uint64_t machine() const { return machine_; }
+  std::uint64_t needed_words() const { return needed_words_; }
+  std::uint64_t budget_words() const { return budget_words_; }
+  const std::string& label() const { return label_; }
+
+ private:
+  std::uint64_t machine_;
+  std::uint64_t needed_words_;
+  std::uint64_t budget_words_;
+  std::string label_;
+};
+
+class Simulator {
+ public:
+  struct Stats {
+    std::uint64_t batches = 0;        // routed batches executed
+    std::uint64_t machine_steps = 0;  // non-empty machine sub-batches run
+    std::uint64_t peak_step_words = 0;  // largest sub-batch any step held
+    // Non-strict mode only: over-budget steps that were executed anyway
+    // (the overflow is still a recorded Cluster violation via
+    // charge_routed when scratch == s).
+    std::uint64_t budget_overruns = 0;
+    std::uint64_t worst_overrun_words = 0;  // max(needed - budget) observed
+  };
+
+  // `scratch_words` bounds each simulated machine's working memory for one
+  // step (its delivered sub-batch); 0 = the cluster's local memory s.
+  // Enforcement follows the cluster's strictness: strict clusters throw
+  // MemoryBudgetExceeded *before any machine has ingested anything and
+  // before any round is charged* (the batch is rejected whole, keeping the
+  // sketches and accounting untouched) — under a strict cluster the
+  // effective per-step budget is min(scratch_words, s), since a load above
+  // s would otherwise surface as a post-charge CheckError from
+  // charge_routed; non-strict clusters record scratch overruns in stats()
+  // and proceed, so benches can measure headroom instead of dying.
+  explicit Simulator(Cluster& cluster, std::uint64_t scratch_words = 0);
+
+  // Delivers `routed` (one charge_routed scatter round + ledger record)
+  // and steps the machines in ascending id order.
+  void execute(const RoutedBatch& routed, const std::string& label,
+               VertexSketches& sketches);
+
+  // Same, but visits machines in the given order — `order` must be a
+  // permutation of [0, machines).  Exists to make the order-invariance
+  // property testable; front ends always use ascending order.
+  void execute(const RoutedBatch& routed, const std::string& label,
+               VertexSketches& sketches, std::span<const std::uint64_t> order);
+
+  std::uint64_t scratch_words() const { return scratch_words_; }
+  const Cluster& cluster() const { return cluster_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Cluster& cluster_;
+  std::uint64_t scratch_words_;
+  Stats stats_;
+  std::vector<std::uint64_t> order_scratch_;  // ascending ids, reused
+  std::vector<char> seen_scratch_;            // permutation check, reused
+};
+
+}  // namespace mpc
+}  // namespace streammpc

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/random.h"
 #include "mpc/cluster.h"
+#include "mpc/simulator.h"
 
 namespace streammpc {
 
@@ -117,6 +118,17 @@ void VertexSketches::update_edges(const mpc::RoutedBatch& routed) {
   });
 }
 
+void VertexSketches::ingest_machine(std::uint64_t machine,
+                                    const mpc::RoutedBatch& routed) {
+  SMPC_CHECK(machine < routed.machines());
+  const std::span<const mpc::RoutedBatch::Item> items =
+      routed.machine_items(machine);
+  ingest_items(items.size(), [&](std::size_t i) {
+    return IngestItem{items[i].delta.e, items[i].delta.delta,
+                      items[i].endpoints};
+  });
+}
+
 void VertexSketches::merged_into(unsigned bank,
                                  std::span<const VertexId> vertices,
                                  L0Sampler& out) const {
@@ -178,17 +190,24 @@ std::uint64_t VertexSketches::nominal_words_per_vertex() const {
 
 void routed_ingest(mpc::Cluster* cluster, VertexId universe,
                    std::span<const EdgeDelta> deltas, const std::string& label,
-                   VertexSketches& sketches, mpc::RoutedBatch& routed) {
+                   VertexSketches& sketches, mpc::RoutedBatch& routed,
+                   mpc::ExecMode mode, mpc::Simulator* simulator) {
   // An empty batch delivers nothing — charging a round for it would skew
   // the per-structure round accounting (front ends reach here with empty
   // delta lists on e.g. all-cancelling batches).
   if (deltas.empty()) return;
-  if (cluster != nullptr) {
-    cluster->route_batch(deltas, universe, routed);
+  if (cluster == nullptr || mode == mpc::ExecMode::kFlat) {
+    sketches.update_edges(deltas);
+    return;
+  }
+  cluster->route_batch(deltas, universe, routed);
+  if (mode == mpc::ExecMode::kSimulated) {
+    SMPC_CHECK_MSG(simulator != nullptr,
+                   "simulated execution mode requires a Simulator");
+    simulator->execute(routed, label, sketches);
+  } else {
     cluster->charge_routed(routed, label);
     sketches.update_edges(routed);
-  } else {
-    sketches.update_edges(deltas);
   }
 }
 

@@ -34,6 +34,7 @@
 
 #include "common/thread_pool.h"
 #include "mpc/comm_ledger.h"
+#include "mpc/config.h"
 #include "sketch/arena.h"
 #include "sketch/coord.h"
 #include "sketch/l0sampler.h"
@@ -42,6 +43,7 @@ namespace streammpc {
 
 namespace mpc {
 class Cluster;
+class Simulator;
 }
 
 struct GraphSketchConfig {
@@ -84,6 +86,14 @@ class VertexSketches {
   // machine count — routing changes the accounting, never the sketches.
   // Same preconditions, thread-safety, and determinism as the flat overload.
   void update_edges(const mpc::RoutedBatch& routed);
+
+  // Slice of the routed overload: ingests ONLY machine `machine`'s CSR
+  // sub-batch — the unit of work one simulated machine performs in one
+  // step (mpc::Simulator).  Calling this once per machine, in any order,
+  // is byte-identical to update_edges(routed), which is in turn identical
+  // to flat ingest of the original batch.  Same preconditions,
+  // thread-safety, and determinism as the other overloads.
+  void ingest_machine(std::uint64_t machine, const mpc::RoutedBatch& routed);
 
   // Merged sampler of bank `bank` over a vertex set (Lemma 3.5's S_A).
   // The _into variant reuses `out`'s buffer across calls.
@@ -198,15 +208,23 @@ class GroupCsr {
   std::vector<std::uint32_t> cursor_;
 };
 
-// The shared front-end ingest step of every tier-1 structure: routes
-// `deltas` through `cluster` under the vertex universe [0, universe)
-// (scratch-reusing `routed`), charges the per-machine loads on the
-// cluster's CommLedger under `label`, and ingests the routed sub-batches
-// into `sketches`.  With a null cluster, plain flat ingest — either way
-// the resulting sketch state is identical.  An empty batch is a no-op
-// (no round charged).
+// The shared front-end ingest step of every tier-1 structure, dispatching
+// on the execution mode (see mpc::ExecMode):
+//   kFlat      — one flat update_edges pass, no routing or accounting;
+//   kRouted    — route `deltas` through `cluster` under the vertex
+//                universe [0, universe) (scratch-reusing `routed`), charge
+//                the per-machine loads on the cluster's CommLedger under
+//                `label`, then ingest the sub-batches in one pass;
+//   kSimulated — route, then hand the RoutedBatch to `simulator` (must be
+//                non-null), which charges the delivery and steps the
+//                machines one at a time under their scratch budgets.
+// With a null cluster every mode degrades to plain flat ingest.  All modes
+// leave identical sketch state.  An empty batch is a no-op (no round
+// charged).
 void routed_ingest(mpc::Cluster* cluster, VertexId universe,
                    std::span<const EdgeDelta> deltas, const std::string& label,
-                   VertexSketches& sketches, mpc::RoutedBatch& routed);
+                   VertexSketches& sketches, mpc::RoutedBatch& routed,
+                   mpc::ExecMode mode = mpc::ExecMode::kRouted,
+                   mpc::Simulator* simulator = nullptr);
 
 }  // namespace streammpc

@@ -13,9 +13,12 @@
 #include "graph/generators.h"
 #include "graph/reference.h"
 #include "graph/streams.h"
+#include "test_support.h"
 
 namespace streammpc {
 namespace {
+
+using test::expect_matches_reference;
 
 ConnectivityConfig test_config(std::uint64_t seed, unsigned banks = 12) {
   ConnectivityConfig c;
@@ -23,27 +26,6 @@ ConnectivityConfig test_config(std::uint64_t seed, unsigned banks = 12) {
   c.sketch.shape = L0Shape{2, 8};
   c.sketch.seed = seed;
   return c;
-}
-
-// Verifies the full state against the oracle graph.
-void expect_matches_reference(const DynamicConnectivity& dc,
-                              const AdjGraph& ref, const char* where) {
-  const auto labels = component_labels(ref);
-  ASSERT_EQ(dc.n(), ref.n());
-  EXPECT_EQ(dc.num_components(), num_components(ref)) << where;
-  for (VertexId v = 0; v < ref.n(); ++v) {
-    EXPECT_EQ(dc.component_of(v), labels[v])
-        << where << ": component label mismatch at vertex " << v;
-  }
-  // The maintained forest must consist of live edges and span components.
-  const auto forest = dc.spanning_forest();
-  Dsu dsu(ref.n());
-  for (const Edge& e : forest) {
-    EXPECT_TRUE(ref.has_edge(e.u, e.v))
-        << where << ": forest edge {" << e.u << "," << e.v << "} not in graph";
-    EXPECT_TRUE(dsu.unite(e.u, e.v)) << where << ": forest has a cycle";
-  }
-  EXPECT_EQ(dsu.num_sets(), num_components(ref)) << where;
 }
 
 TEST(Connectivity, EmptyGraphBasics) {

@@ -9,16 +9,12 @@
 #include "mpc/cluster.h"
 #include "mpc/config.h"
 #include "mpc/primitives.h"
+#include "test_support.h"
 
 namespace streammpc::mpc {
 namespace {
 
-MpcConfig small_config() {
-  MpcConfig c;
-  c.n = 1024;
-  c.phi = 0.5;
-  return c;
-}
+MpcConfig small_config() { return test::small_mpc_config(); }
 
 TEST(Cluster, DerivedGeometry) {
   Cluster c(small_config());

@@ -20,62 +20,14 @@
 #include "mpc/cluster.h"
 #include "sketch/graphsketch.h"
 #include "sketch/l0sampler.h"
+#include "test_support.h"
 
 namespace streammpc {
 namespace {
 
-// Random mixed insert/delete delta sequence whose deletes only remove
-// previously inserted edges (a valid stream).
-std::vector<EdgeDelta> random_deltas(VertexId n, std::size_t count,
-                                     std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<EdgeDelta> deltas;
-  std::vector<Edge> live;
-  while (deltas.size() < count) {
-    if (!live.empty() && rng.chance(0.3)) {
-      const std::size_t i = rng.below(live.size());
-      deltas.push_back(EdgeDelta{live[i], -1});
-      live[i] = live.back();
-      live.pop_back();
-    } else {
-      const VertexId u = static_cast<VertexId>(rng.below(n));
-      VertexId v = static_cast<VertexId>(rng.below(n - 1));
-      if (v >= u) ++v;
-      const Edge e = make_edge(u, v);
-      deltas.push_back(EdgeDelta{e, +1});
-      live.push_back(e);
-    }
-  }
-  return deltas;
-}
-
-std::vector<std::vector<VertexId>> probe_sets(VertexId n, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<std::vector<VertexId>> sets;
-  for (VertexId v = 0; v < n; v += std::max<VertexId>(1, n / 7))
-    sets.push_back({v});
-  for (int trial = 0; trial < 6; ++trial) {
-    std::vector<VertexId> set;
-    for (VertexId v = 0; v < n; ++v)
-      if (rng.chance(0.25)) set.push_back(v);
-    if (!set.empty()) sets.push_back(std::move(set));
-  }
-  return sets;
-}
-
-// Compares the full observable surface of two sketch structures: every
-// bank's boundary sample over every probe set.
-template <typename A, typename B>
-void expect_identical_samples(const A& a, const B& b, unsigned banks,
-                              const std::vector<std::vector<VertexId>>& sets) {
-  for (unsigned bank = 0; bank < banks; ++bank) {
-    for (const auto& set : sets) {
-      const std::span<const VertexId> span(set.data(), set.size());
-      EXPECT_EQ(a.sample_boundary(bank, span), b.sample_boundary(bank, span))
-          << "bank " << bank;
-    }
-  }
-}
+using test::expect_identical_samples;
+using test::probe_sets;
+using test::random_deltas;
 
 TEST(BatchedIngest, BatchedEqualsSequential) {
   const VertexId n = 96;
@@ -193,11 +145,7 @@ TEST(BatchedIngest, ByteIdenticalToSeedImplementation) {
 }
 
 mpc::Cluster make_cluster(VertexId n, std::uint64_t machines) {
-  mpc::MpcConfig cfg;
-  cfg.n = n;
-  cfg.phi = 0.5;
-  cfg.machines = machines;
-  return mpc::Cluster(cfg);
+  return test::make_cluster(n, machines);
 }
 
 TEST(RoutedIngest, ByteIdenticalToFlatAcrossMachineCounts) {
