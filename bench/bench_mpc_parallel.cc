@@ -1,0 +1,189 @@
+// E13 — grid-parallel simulated ingest: throughput of the 2-D
+// (machine x bank) cell executor across thread counts.
+//
+// The MPC model has every machine computing its round in parallel; the
+// grid executor realizes that on the host by scheduling all (machine,
+// bank) cells of a routed batch onto a work-stealing pool.  This bench
+// routes one fixed churn stream, replays it through mpc::Simulator at
+// several grid thread counts, and charts updates/second plus the
+// speedup over the serial canonical executor.  Correctness is asserted
+// inline: every thread count must leave byte-identically allocated
+// sketches and identical ledger totals (the `ctest -L mpc` matrix checks
+// the full observable surface; here we cross-check while measuring).
+//
+// On a single-core runner the speedup column records ~1.0x — the value of
+// running it in CI is the regression trail for the JSON schema and the
+// invariance cross-check, not the scaling numbers (see ROADMAP's
+// multi-core-runner item).
+//
+// Emits the table on stdout and BENCH_mpc_parallel.json.  `--quick`
+// shrinks the workload for CI smoke runs.
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/check.h"
+#include "graph/generators.h"
+#include "graph/streams.h"
+#include "mpc/cluster.h"
+#include "mpc/simulator.h"
+#include "sketch/graphsketch.h"
+
+namespace streammpc {
+namespace {
+
+struct ParallelConfig {
+  VertexId n = 4096;
+  std::size_t initial_edges = 8192;
+  std::size_t num_batches = 16;
+  std::size_t batch_size = 512;
+  std::uint64_t machines = 16;
+  unsigned banks = 12;
+  int repeats = 3;  // best-of wall clock per thread count
+};
+
+constexpr unsigned kThreadCounts[] = {1, 2, 4, 8};
+
+std::string key(unsigned threads, const std::string& metric) {
+  std::ostringstream os;
+  os << "threads" << threads << "." << metric;
+  return os.str();
+}
+
+void run(const ParallelConfig& cfg) {
+  bench::BenchJson json("mpc_parallel");
+  json.set("config.n", static_cast<std::uint64_t>(cfg.n));
+  json.set("config.machines", cfg.machines);
+  json.set("config.banks", static_cast<std::uint64_t>(cfg.banks));
+  json.set("config.num_batches", static_cast<std::uint64_t>(cfg.num_batches));
+  json.set("config.batch_size", static_cast<std::uint64_t>(cfg.batch_size));
+
+  bench::section(
+      "E13: grid-parallel simulated ingest (n = " + std::to_string(cfg.n) +
+          ", machines = " + std::to_string(cfg.machines) + ", banks = " +
+          std::to_string(cfg.banks) + ")",
+      "all machines work in parallel within a round; the (machine, bank) "
+      "grid exposes that parallelism with byte-identical results");
+
+  // One delta stream for every thread count.
+  Rng stream_rng(13001);
+  gen::ChurnOptions churn;
+  churn.n = cfg.n;
+  churn.initial_edges = cfg.initial_edges;
+  churn.num_batches = cfg.num_batches;
+  churn.batch_size = cfg.batch_size;
+  churn.delete_fraction = 0.35;
+  const auto batches = gen::churn_stream(churn, stream_rng);
+  std::vector<std::vector<EdgeDelta>> delta_batches;
+  std::size_t total_updates = 0;
+  for (const Batch& b : batches) {
+    std::vector<EdgeDelta> deltas;
+    deltas.reserve(b.size());
+    for (const Update& u : b) {
+      deltas.push_back(
+          EdgeDelta{u.e, u.type == UpdateType::kInsert ? 1 : -1});
+    }
+    total_updates += deltas.size();
+    delta_batches.push_back(std::move(deltas));
+  }
+  json.set("config.total_updates", static_cast<std::uint64_t>(total_updates));
+
+  GraphSketchConfig sketch;
+  sketch.banks = cfg.banks;
+  sketch.seed = 13002;
+  sketch.ingest_threads = 1;  // the grid, not the bank axis, parallelizes
+
+  Table table({"threads", "cells/batch", "seconds (best)", "updates/s",
+               "speedup", "peak res+load"});
+  double serial_seconds = 0.0;
+  std::uint64_t reference_words = 0;
+  std::uint64_t reference_ledger = 0;
+  for (const unsigned threads : kThreadCounts) {
+    double best = 0.0;
+    std::uint64_t allocated = 0;
+    std::uint64_t ledger_words = 0;
+    std::uint64_t peak_machine = 0;
+    std::uint64_t cell_steps = 0;
+    for (int rep = 0; rep < cfg.repeats; ++rep) {
+      mpc::MpcConfig mc;
+      mc.n = cfg.n;
+      mc.machines = cfg.machines;
+      mc.strict = false;
+      mpc::Cluster cluster(mc);
+      mpc::Simulator sim(cluster, 0, threads);
+      VertexSketches sketches(cfg.n, sketch);
+      mpc::RoutedBatch routed;
+      bench::Timer timer;
+      for (const auto& deltas : delta_batches) {
+        cluster.route_batch(deltas, cfg.n, routed);
+        sim.execute(routed, "parallel-ingest", sketches);
+      }
+      const double seconds = timer.seconds();
+      if (rep == 0 || seconds < best) best = seconds;
+      allocated = sketches.allocated_words();
+      ledger_words = cluster.comm_ledger().total_words();
+      peak_machine = sim.stats().peak_machine_words;
+      cell_steps = sim.stats().cell_steps / sim.stats().batches;
+    }
+    // Invariance cross-check: the schedule must be unobservable.
+    if (threads == kThreadCounts[0]) {
+      serial_seconds = best;
+      reference_words = allocated;
+      reference_ledger = ledger_words;
+    } else {
+      SMPC_CHECK_MSG(allocated == reference_words,
+                     "thread count changed the allocated sketch state");
+      SMPC_CHECK_MSG(ledger_words == reference_ledger,
+                     "thread count changed the communication ledger");
+    }
+    const double ups = best == 0.0 ? 0.0
+                                   : static_cast<double>(total_updates) / best;
+    const double speedup = best == 0.0 ? 0.0 : serial_seconds / best;
+
+    table.add_row()
+        .cell(static_cast<std::int64_t>(threads))
+        .cell(static_cast<std::int64_t>(cell_steps))
+        .cell(best, 4)
+        .cell(ups, 0)
+        .cell(speedup, 2)
+        .cell(static_cast<std::int64_t>(peak_machine));
+
+    json.set(key(threads, "seconds_best"), best);
+    json.set(key(threads, "updates_per_second"), ups);
+    json.set(key(threads, "speedup_vs_serial"), speedup);
+    json.set(key(threads, "cells_per_batch"), cell_steps);
+    json.set(key(threads, "allocated_words"), allocated);
+    json.set(key(threads, "peak_machine_words"), peak_machine);
+  }
+  table.print(std::cout);
+  std::cout << "\nspeedup is vs the threads=1 canonical serial executor; all\n"
+               "rows are asserted byte-identical on sketch allocation and\n"
+               "ledger totals before being reported.\n";
+}
+
+}  // namespace
+}  // namespace streammpc
+
+int main(int argc, char** argv) {
+  streammpc::ParallelConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      cfg.n = 512;
+      cfg.initial_edges = 1024;
+      cfg.num_batches = 6;
+      cfg.batch_size = 128;
+      cfg.machines = 8;
+      cfg.banks = 8;
+      cfg.repeats = 2;
+    } else {
+      std::cerr << "unknown flag: " << argv[i]
+                << "\nusage: bench_mpc_parallel [--quick]\n";
+      return 2;
+    }
+  }
+  streammpc::run(cfg);
+  return 0;
+}

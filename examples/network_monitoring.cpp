@@ -148,14 +148,18 @@ int main() {
             << (overlay.is_bipartite() ? "yes" : "no") << "\n";
   std::cout << "cluster healthy: " << (cluster.ok() ? "yes" : "no") << "\n";
 
-  // The simulated executor's view of the run: each machine stepped alone
-  // within its scratch budget (an overrun would have been a structured
-  // MemoryBudgetExceeded, never a silent spill).
+  // The simulated executor's view of the run: every routed batch executed
+  // as a (machine x bank) cell grid, each machine budgeted for its
+  // resident sketch shard plus the delivered sub-batch (an overrun would
+  // have been a structured MemoryBudgetExceeded, never a silent spill).
   const mpc::Simulator::Stats& sim = backbone.simulator()->stats();
   std::cout << "simulated execution: " << sim.machine_steps
-            << " machine steps over " << sim.batches << " routed batches, "
+            << " machine steps (" << sim.cell_steps << " grid cells) over "
+            << sim.batches << " routed batches, "
             << "peak step " << sim.peak_step_words << " / "
             << backbone.simulator()->scratch_words()
-            << " scratch words, overruns: " << sim.budget_overruns << "\n";
+            << " scratch words, peak resident+delivered "
+            << sim.peak_machine_words << " words, overruns: "
+            << sim.budget_overruns << "\n";
   return 0;
 }

@@ -47,6 +47,12 @@ class DynamicBipartiteness {
   const DynamicConnectivity& base() const { return base_; }
   const DynamicConnectivity& double_cover() const { return cover_; }
 
+  // Execution-mode plumbing: config.connectivity.exec_mode selects Flat |
+  // Routed | Simulated for both maintained instances; the cluster (and
+  // hence the Simulator) is attached to the double cover, whose 2n-vertex
+  // bill dominates.  Non-null iff kSimulated and a cluster is attached.
+  const mpc::Simulator* simulator() const { return cover_.simulator(); }
+
   std::uint64_t memory_words() const {
     return base_.memory_words() + cover_.memory_words();
   }

@@ -51,24 +51,34 @@ std::optional<std::uint64_t> AklySparsifier::pair_key_of(Edge e) const {
   return key;
 }
 
-AklySparsifier::HDelta AklySparsifier::apply_batch(const Batch& batch) {
-  // Touched samplers: record old outputs, apply sketch updates, recompute.
-  std::unordered_map<std::uint64_t, std::optional<Edge>> old_out;
+void AklySparsifier::begin_batch(const Batch& batch) {
+  // Touched samplers: record old outputs (keys in first-appearance order,
+  // so the H-delta finish_batch emits is deterministic and identical for
+  // every update schedule).
+  pending_keys_.clear();
+  pending_old_.clear();
   for (const Update& u : batch) {
     const auto key = pair_key_of(u.e);
     if (!key) continue;
-    if (!old_out.count(*key)) {
-      const auto it = current_out_.find(*key);
-      old_out[*key] = it == current_out_.end()
-                          ? std::nullopt
-                          : std::optional<Edge>(it->second);
-    }
-    const std::int64_t delta = u.type == UpdateType::kInsert ? 1 : -1;
-    samplers_[*key].update(*params_, codec_.encode(u.e), delta);
+    if (pending_old_.count(*key)) continue;
+    const auto it = current_out_.find(*key);
+    pending_old_[*key] = it == current_out_.end()
+                             ? std::nullopt
+                             : std::optional<Edge>(it->second);
+    pending_keys_.push_back(*key);
   }
+}
 
+void AklySparsifier::apply_delta(Edge e, std::int64_t delta) {
+  const auto key = pair_key_of(e);
+  if (!key || delta == 0) return;
+  samplers_[*key].update(*params_, codec_.encode(e), delta);
+}
+
+AklySparsifier::HDelta AklySparsifier::finish_batch() {
   HDelta delta;
-  for (const auto& [key, old_edge] : old_out) {
+  for (const std::uint64_t key : pending_keys_) {
+    const std::optional<Edge>& old_edge = pending_old_[key];
     const auto sampled = samplers_[key].sample(*params_);
     std::optional<Edge> new_edge;
     if (sampled) new_edge = codec_.decode(sampled->coord);
@@ -81,7 +91,17 @@ AklySparsifier::HDelta AklySparsifier::apply_batch(const Batch& batch) {
       current_out_.erase(key);
     }
   }
+  pending_keys_.clear();
+  pending_old_.clear();
   return delta;
+}
+
+AklySparsifier::HDelta AklySparsifier::apply_batch(const Batch& batch) {
+  begin_batch(batch);
+  for (const Update& u : batch) {
+    apply_delta(u.e, u.type == UpdateType::kInsert ? 1 : -1);
+  }
+  return finish_batch();
 }
 
 std::vector<Edge> AklySparsifier::current_h() const {

@@ -52,6 +52,23 @@ class AklySparsifier {
   };
   HDelta apply_batch(const Batch& batch);
 
+  // Phase API — apply_batch split into its three stages, so the machine-
+  // sliced simulated execution path (DynamicApproxMatching in kSimulated
+  // mode) can interleave the sketch updates with the Simulator's machine
+  // steps:
+  //   begin_batch   records the old output of every sampler the batch
+  //                 touches (keys in deterministic first-appearance order);
+  //   apply_delta   applies one signed sketch update — samplers are linear,
+  //                 so any update order (any machine schedule) yields the
+  //                 same state;
+  //   finish_batch  re-samples the touched pairs and returns the H-delta,
+  //                 in the recorded key order.
+  // apply_batch == begin_batch; apply_delta per update; finish_batch.
+  // begin/finish must bracket exactly the updates of one batch.
+  void begin_batch(const Batch& batch);
+  void apply_delta(Edge e, std::int64_t delta);
+  HDelta finish_batch();
+
   std::uint64_t beta() const { return beta_; }
   std::uint64_t gamma() const { return gamma_; }
   std::uint64_t active_pair_count() const { return active_.size(); }
@@ -78,6 +95,10 @@ class AklySparsifier {
   std::unordered_set<std::uint64_t> active_;
   std::unordered_map<std::uint64_t, L0Sampler> samplers_;
   std::unordered_map<std::uint64_t, Edge> current_out_;
+  // In-flight batch state (begin_batch .. finish_batch): touched keys in
+  // first-appearance order and their pre-batch outputs.
+  std::vector<std::uint64_t> pending_keys_;
+  std::unordered_map<std::uint64_t, std::optional<Edge>> pending_old_;
 };
 
 }  // namespace streammpc

@@ -10,6 +10,8 @@ DynamicApproxMatching::DynamicApproxMatching(
     VertexId n, const DynamicMatchingConfig& config, mpc::Cluster* cluster)
     : n_(n), config_(config), cluster_(cluster) {
   SMPC_CHECK(n >= 2);
+  if (cluster_ != nullptr && config_.exec_mode == mpc::ExecMode::kSimulated)
+    simulator_ = std::make_unique<mpc::Simulator>(*cluster_);
   SplitMix64 sm(config.seed);
   for (std::uint64_t guess = n; guess >= 1; guess /= 2) {
     Instance inst;
@@ -33,10 +35,55 @@ DynamicApproxMatching::DynamicApproxMatching(
 void DynamicApproxMatching::apply_batch(const Batch& batch) {
   if (cluster_ != nullptr) cluster_->begin_phase();
   mpc::sort(cluster_, batch.size(), "matching/preprocess");
-  mpc::broadcast(cluster_, batch.size(), "matching/sketch-update");
-  for (auto& inst : guesses_) {
-    auto delta = inst.sparsifier->apply_batch(batch);
-    inst.maximal->apply(delta.remove, delta.add);
+  if (cluster_ == nullptr || config_.exec_mode == mpc::ExecMode::kFlat ||
+      batch.empty()) {
+    // Flat baseline: one in-process pass per guess, no routing accounting.
+    for (auto& inst : guesses_) {
+      auto delta = inst.sparsifier->apply_batch(batch);
+      inst.maximal->apply(delta.remove, delta.add);
+    }
+  } else {
+    // Route the batch to the machines hosting the endpoint state — the
+    // actual per-machine delta loads, not a flat broadcast.  The Theta(log
+    // n) guesses run in parallel on the MPC (each machine hosts a shard of
+    // every guess), so one delivery serves them all.
+    delta_scratch_.clear();
+    delta_scratch_.reserve(batch.size());
+    for (const Update& u : batch) {
+      delta_scratch_.push_back(
+          EdgeDelta{u.e, u.type == UpdateType::kInsert ? 1 : -1});
+    }
+    cluster_->route_batch(delta_scratch_, n_, routed_scratch_);
+    for (auto& inst : guesses_) inst.sparsifier->begin_batch(batch);
+    // An update is applied by the machine owning the edge's min endpoint
+    // (the kEndpointU copy appears exactly once per delta), so every delta
+    // lands once; samplers are linear, so the machine schedule is
+    // irrelevant to the resulting state.
+    const auto apply_owned =
+        [&](std::span<const mpc::RoutedBatch::Item> items) {
+          for (const mpc::RoutedBatch::Item& item : items) {
+            if (!(item.endpoints & mpc::RoutedBatch::kEndpointU)) continue;
+            for (auto& inst : guesses_) {
+              inst.sparsifier->apply_delta(item.delta.e, item.delta.delta);
+            }
+          }
+        };
+    if (config_.exec_mode == mpc::ExecMode::kSimulated) {
+      simulator_->execute(
+          routed_scratch_, "matching/sketch-update",
+          [&](std::uint64_t, std::span<const mpc::RoutedBatch::Item> items) {
+            apply_owned(items);
+          });
+    } else {
+      cluster_->charge_routed(routed_scratch_, "matching/sketch-update");
+      for (std::uint64_t m = 0; m < routed_scratch_.machines(); ++m) {
+        apply_owned(routed_scratch_.machine_items(m));
+      }
+    }
+    for (auto& inst : guesses_) {
+      auto delta = inst.sparsifier->finish_batch();
+      inst.maximal->apply(delta.remove, delta.add);
+    }
   }
   if (cluster_ != nullptr)
     cluster_->set_usage("matching/dynamic", memory_words());

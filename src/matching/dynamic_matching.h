@@ -20,6 +20,7 @@
 #include "matching/akly_sparsifier.h"
 #include "matching/batch_maximal_matching.h"
 #include "mpc/cluster.h"
+#include "mpc/simulator.h"
 
 namespace streammpc {
 
@@ -28,6 +29,16 @@ struct DynamicMatchingConfig {
   double kappa = 0.5;  // batch-size exponent slack; rounds = O(log 1/kappa)
   L0Shape shape{2, 8};
   std::uint64_t seed = 0xd1a2;
+  // How each batch's sketch updates execute against an attached cluster
+  // (see mpc::ExecMode): flat in-process, routed per endpoint-hosting
+  // machine with per-machine load accounting, or machine-by-machine
+  // simulation under scratch budgets — in kSimulated mode an update is
+  // applied to the sparsifiers by the machine hosting the edge's min
+  // endpoint (the duplicate delivery to the other endpoint's machine is
+  // the communication the ledger charges).  All modes leave identical
+  // sparsifier state (samplers are linear) and hence identical matchings.
+  // Ignored when no cluster is attached.
+  mpc::ExecMode exec_mode = mpc::ExecMode::kRouted;
 };
 
 class DynamicApproxMatching {
@@ -46,6 +57,9 @@ class DynamicApproxMatching {
 
   std::uint64_t memory_words() const;
 
+  // Non-null iff exec_mode == kSimulated and a cluster is attached.
+  const mpc::Simulator* simulator() const { return simulator_.get(); }
+
   struct Instance {
     std::uint64_t opt_guess = 0;
     std::unique_ptr<AklySparsifier> sparsifier;
@@ -57,6 +71,9 @@ class DynamicApproxMatching {
   VertexId n_;
   DynamicMatchingConfig config_;
   mpc::Cluster* cluster_;
+  std::unique_ptr<mpc::Simulator> simulator_;  // kSimulated mode only
+  std::vector<EdgeDelta> delta_scratch_;       // reused batch-ingest buffer
+  mpc::RoutedBatch routed_scratch_;  // reused per-machine sub-batches
   std::vector<Instance> guesses_;
 };
 

@@ -1,5 +1,6 @@
 #include "mpc/cluster.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -71,6 +72,21 @@ std::uint64_t Cluster::machine_of(std::uint64_t v, std::uint64_t universe) const
   // vertex; 128-bit intermediate so v * P never overflows.
   return static_cast<std::uint64_t>(
       static_cast<__uint128_t>(v) * machines_ / universe);
+}
+
+std::pair<std::uint64_t, std::uint64_t> Cluster::vertex_block(
+    std::uint64_t machine, std::uint64_t universe) const {
+  SMPC_CHECK(machine < machines_ && universe >= 1);
+  // machine_of(v) = floor(v * P / universe) >= m  <=>  v >= ceil(m * U / P),
+  // so block m is [ceil(m * U / P), ceil((m + 1) * U / P)); 128-bit
+  // intermediates match machine_of's overflow guard.
+  const auto block_start = [&](std::uint64_t m) {
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(m) * universe + machines_ - 1) / machines_);
+  };
+  const std::uint64_t first = std::min(block_start(machine), universe);
+  const std::uint64_t last = std::min(block_start(machine + 1), universe);
+  return {first, last};
 }
 
 void Cluster::route_batch(std::span<const EdgeDelta> batch,

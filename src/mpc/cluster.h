@@ -17,6 +17,7 @@
 #include <map>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mpc/comm_ledger.h"
@@ -102,6 +103,16 @@ class Cluster {
   // any batch content — so routing never depends on update history.
   // Precondition: v < universe, universe >= 1.
   std::uint64_t machine_of(std::uint64_t v, std::uint64_t universe) const;
+
+  // Inverse view of machine_of: the contiguous vertex block [first, last)
+  // hosted by `machine` under the universe [0, universe).  Blocks of all
+  // machines partition the universe; a machine past the populated prefix
+  // (machines > universe) gets an empty block.  This is what the resident-
+  // memory accounting walks: the vertices whose sketch shard lives on the
+  // machine permanently, as opposed to the delivered sub-batch that only
+  // passes through its scratch space.
+  std::pair<std::uint64_t, std::uint64_t> vertex_block(
+      std::uint64_t machine, std::uint64_t universe) const;
 
   // Splits a flat delta batch into per-machine sub-batches under
   // machine_of(., universe): each delta is sent to the machine(s) hosting

@@ -23,7 +23,10 @@ void CommLedger::reset(std::uint64_t machines) {
   rounds_ = 0;
   total_words_ = 0;
   max_load_ = 0;
+  peak_resident_ = 0;
+  peak_total_ = 0;
   words_by_machine_.assign(machines, 0);
+  resident_peak_by_machine_.clear();
 }
 
 void CommLedger::record_round(std::span<const std::uint64_t> loads) {
@@ -34,6 +37,22 @@ void CommLedger::record_round(std::span<const std::uint64_t> loads) {
     words_by_machine_[m] += loads[m];
     total_words_ += loads[m];
     max_load_ = std::max(max_load_, loads[m]);
+  }
+}
+
+void CommLedger::record_resident(std::span<const std::uint64_t> resident,
+                                 std::span<const std::uint64_t> delivered) {
+  SMPC_CHECK_MSG(resident.size() == words_by_machine_.size() &&
+                     delivered.size() == words_by_machine_.size(),
+                 "resident vector does not match the machine count");
+  if (resident_peak_by_machine_.size() != resident.size()) {
+    resident_peak_by_machine_.assign(resident.size(), 0);
+  }
+  for (std::size_t m = 0; m < resident.size(); ++m) {
+    resident_peak_by_machine_[m] =
+        std::max(resident_peak_by_machine_[m], resident[m]);
+    peak_resident_ = std::max(peak_resident_, resident[m]);
+    peak_total_ = std::max(peak_total_, resident[m] + delivered[m]);
   }
 }
 
@@ -50,6 +69,10 @@ std::string CommLedger::report() const {
     }
     os << "  cumulative busiest machine=" << busiest << " words, " << idle
        << " machine(s) never addressed\n";
+  }
+  if (peak_total_ > 0) {
+    os << "  resident peaks: largest shard=" << peak_resident_
+       << " words, largest resident+delivered=" << peak_total_ << " words\n";
   }
   return os.str();
 }

@@ -78,11 +78,15 @@ struct RoutedBatch {
 
 // Accumulates per-machine delivery statistics across routed rounds.
 //
-// Thread-safety: none — the ledger is mutated only from the accounting
-// path (Cluster::charge_routed), which, like the rest of the Cluster, is
-// driven by a single simulation thread.  Determinism: the ledger is a pure
-// function of the recorded loads, which are themselves deterministic for a
-// fixed batch sequence and machine count.
+// Thread-safety: none, BY CONTRACT — the ledger is mutated only from the
+// serial accounting path (Cluster::charge_routed and the Simulator's
+// pre-dispatch resident fold), never from inside a parallel region.  The
+// grid-parallel executor accumulates any per-cell quantities into
+// cell-indexed scratch slots it owns exclusively and folds them here, in
+// canonical machine-major order, strictly before or after the parallel
+// section — so the ledger state is a pure function of the recorded loads
+// and independent of the cell completion order or thread count (asserted
+// by the thread-invariance suite in tests/test_mpc_grid.cc).
 class CommLedger {
  public:
   CommLedger() = default;
@@ -96,6 +100,16 @@ class CommLedger {
   // synchronous round happens whether or not every machine receives data).
   void record_round(std::span<const std::uint64_t> loads);
 
+  // Records the per-machine *resident* footprint observed at one delivery:
+  // resident[m] is the words of sketch-shard state machine m permanently
+  // hosts (its vertex block's arena pages), delivered[m] the words arriving
+  // this round.  Together they are the machine's total claim against local
+  // memory s — the quantity the paper's Theorem 6.7 sizes batches for.
+  // Both spans must have machines() entries.  Tracks per-machine and
+  // global peaks; called once per delivery from the serial fold path.
+  void record_resident(std::span<const std::uint64_t> resident,
+                       std::span<const std::uint64_t> delivered);
+
   std::uint64_t machines() const { return words_by_machine_.size(); }
   std::uint64_t rounds() const { return rounds_; }
   std::uint64_t total_words() const { return total_words_; }
@@ -108,6 +122,16 @@ class CommLedger {
     return words_by_machine_;
   }
 
+  // Largest resident shard any machine held at any delivery, and the
+  // largest resident + delivered total — the binding s constraint once
+  // resident state is charged (0 until record_resident is first called).
+  std::uint64_t peak_resident_words() const { return peak_resident_; }
+  std::uint64_t peak_machine_total_words() const { return peak_total_; }
+  // Per-machine resident peaks (empty until record_resident is called).
+  const std::vector<std::uint64_t>& resident_peak_by_machine() const {
+    return resident_peak_by_machine_;
+  }
+
   // Human-readable summary (rounds, totals, load spread).
   std::string report() const;
 
@@ -115,7 +139,10 @@ class CommLedger {
   std::uint64_t rounds_ = 0;
   std::uint64_t total_words_ = 0;
   std::uint64_t max_load_ = 0;
+  std::uint64_t peak_resident_ = 0;
+  std::uint64_t peak_total_ = 0;
   std::vector<std::uint64_t> words_by_machine_;
+  std::vector<std::uint64_t> resident_peak_by_machine_;
 };
 
 }  // namespace streammpc::mpc

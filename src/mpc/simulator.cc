@@ -1,10 +1,13 @@
 #include "mpc/simulator.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "sketch/graphsketch.h"
 
 namespace streammpc::mpc {
@@ -12,12 +15,23 @@ namespace streammpc::mpc {
 namespace {
 
 std::string budget_message(std::uint64_t machine, std::uint64_t needed,
-                           std::uint64_t budget, const std::string& label) {
+                           std::uint64_t budget, std::uint64_t resident,
+                           const std::string& label) {
   std::ostringstream os;
   os << "memory budget exceeded: machine " << machine << " needs " << needed
-     << " words for '" << label << "' but its scratch budget is " << budget
-     << " words";
+     << " words (" << resident << " resident) for '" << label
+     << "' but its scratch budget is " << budget << " words";
   return os.str();
+}
+
+unsigned resolve_grid_threads(unsigned configured) {
+  if (configured != 0) return configured;
+  if (const char* env = std::getenv("SMPC_SIM_THREADS")) {
+    const unsigned long parsed = std::strtoul(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<unsigned>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
 }
 
 }  // namespace
@@ -25,18 +39,79 @@ std::string budget_message(std::uint64_t machine, std::uint64_t needed,
 MemoryBudgetExceeded::MemoryBudgetExceeded(std::uint64_t machine,
                                            std::uint64_t needed_words,
                                            std::uint64_t budget_words,
-                                           std::string label)
-    : std::runtime_error(
-          budget_message(machine, needed_words, budget_words, label)),
+                                           std::string label,
+                                           std::uint64_t resident_words)
+    : std::runtime_error(budget_message(machine, needed_words, budget_words,
+                                        resident_words, label)),
       machine_(machine),
       needed_words_(needed_words),
       budget_words_(budget_words),
+      resident_words_(resident_words),
       label_(std::move(label)) {}
 
-Simulator::Simulator(Cluster& cluster, std::uint64_t scratch_words)
+Simulator::Simulator(Cluster& cluster, std::uint64_t scratch_words,
+                     unsigned grid_threads)
     : cluster_(cluster),
       scratch_words_(scratch_words != 0 ? scratch_words
-                                        : cluster.local_capacity_words()) {}
+                                        : cluster.local_capacity_words()),
+      grid_threads_(resolve_grid_threads(grid_threads)) {}
+
+Simulator::~Simulator() = default;
+
+ThreadPool* Simulator::pool(std::size_t cells) {
+  if (grid_threads_ <= 1 || cells < 2) return nullptr;
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(grid_threads_);
+  return pool_.get();
+}
+
+void Simulator::preflight(const RoutedBatch& routed, const std::string& label,
+                          std::span<const std::uint64_t> resident) {
+  const std::uint64_t machines = routed.machines();
+  // Budget pre-scan over each machine's full claim — resident shard plus
+  // delivered sub-batch.  A strict cluster rejects the whole batch before
+  // any page has been allocated or any round charged (lowest offending
+  // machine id wins, so the diagnostic is deterministic and independent of
+  // the cell schedule).  Under a strict cluster the machine's local memory
+  // s binds too, even when the scratch override is larger — otherwise
+  // charge_routed below would throw CheckError *after* mutating the
+  // round/comm/ledger state, breaking the reject-whole contract.
+  const std::uint64_t strict_limit =
+      std::min(scratch_words_, cluster_.local_capacity_words());
+  for (std::uint64_t m = 0; m < machines; ++m) {
+    const std::uint64_t shard = resident.empty() ? 0 : resident[m];
+    const std::uint64_t need = shard + routed.load_words[m];
+    if (cluster_.strict()) {
+      if (need > strict_limit)
+        throw MemoryBudgetExceeded(m, need, strict_limit, label, shard);
+    } else if (need > scratch_words_) {
+      ++stats_.budget_overruns;
+      stats_.worst_overrun_words =
+          std::max(stats_.worst_overrun_words, need - scratch_words_);
+      if (stats_.overruns.size() < Stats::kMaxOverrunRecords)
+        stats_.overruns.push_back(Overrun{m, need, shard, scratch_words_});
+    }
+  }
+
+  // Delivery: one synchronous scatter round, per-machine loads on the
+  // ledger (and, when scratch == s, the same overflow the pre-scan saw is
+  // recorded as a Cluster capacity violation).  The resident peaks ride
+  // along on the ledger — folded here, serially, never from a cell.
+  cluster_.charge_routed(routed, label);
+  if (!resident.empty()) {
+    cluster_.comm_ledger().record_resident(resident, routed.load_words);
+  }
+  ++stats_.batches;
+  for (std::uint64_t m = 0; m < machines; ++m) {
+    const std::uint64_t shard = resident.empty() ? 0 : resident[m];
+    stats_.peak_resident_words = std::max(stats_.peak_resident_words, shard);
+    stats_.peak_machine_words =
+        std::max(stats_.peak_machine_words, shard + routed.load_words[m]);
+    if (routed.load_words[m] == 0) continue;
+    ++stats_.machine_steps;
+    stats_.peak_step_words =
+        std::max(stats_.peak_step_words, routed.load_words[m]);
+  }
+}
 
 void Simulator::execute(const RoutedBatch& routed, const std::string& label,
                         VertexSketches& sketches) {
@@ -61,43 +136,68 @@ void Simulator::execute(const RoutedBatch& routed, const std::string& label,
     seen_scratch_[m] = 1;
   }
 
-  // Budget pre-scan: a strict cluster rejects the whole batch before any
-  // machine has mutated the sketches or any round has been charged (lowest
-  // offending machine id wins, so the diagnostic is deterministic and
-  // order-independent).  Under a strict cluster the machine's local memory
-  // s binds too, even when the scratch override is larger — otherwise
-  // charge_routed below would throw CheckError *after* mutating the
-  // round/comm/ledger state, breaking the reject-whole contract.
-  const std::uint64_t strict_limit =
-      std::min(scratch_words_, cluster_.local_capacity_words());
-  for (std::uint64_t m = 0; m < machines; ++m) {
-    const std::uint64_t need = routed.load_words[m];
-    if (cluster_.strict()) {
-      if (need > strict_limit)
-        throw MemoryBudgetExceeded(m, need, strict_limit, label);
-    } else if (need > scratch_words_) {
-      ++stats_.budget_overruns;
-      stats_.worst_overrun_words =
-          std::max(stats_.worst_overrun_words, need - scratch_words_);
+  // Resident fold (pre-mutation): the sketch shard each machine already
+  // hosts, against which this delivery's scratch claim stacks.  Pages are
+  // never freed, so the fold (an O(n) page-map scan) only needs to re-run
+  // when the allocation watermark has grown since the last one — in the
+  // saturated steady state every batch pays just the O(banks) watermark
+  // check.
+  const std::uint64_t allocated = sketches.allocated_words();
+  if (&sketches != resident_cache_sketches_ ||
+      allocated != resident_cache_words_ ||
+      resident_scratch_.size() != machines) {
+    resident_scratch_.resize(machines);
+    for (std::uint64_t m = 0; m < machines; ++m) {
+      resident_scratch_[m] = sketches.resident_words(m, cluster_);
+    }
+    resident_cache_sketches_ = &sketches;
+    resident_cache_words_ = allocated;
+  }
+  preflight(routed, label, resident_scratch_);
+
+  // Local computation of the delivered round, as a machines x banks cell
+  // grid.  Page preparation is canonical-order and thread-count-
+  // independent; afterwards the cells share no mutable state, so the
+  // work-stealing schedule below (or the serial order-major loop) cannot
+  // affect the resulting bytes.
+  const unsigned banks = sketches.banks();
+  const std::size_t cells = static_cast<std::size_t>(machines) * banks;
+  ThreadPool* p = pool(cells);
+  sketches.begin_routed_cells(routed, p);
+  cell_scratch_.assign(cells, 0);
+  const auto run_cell = [&](std::size_t row, std::size_t bank) {
+    const std::uint64_t m = order[row];
+    if (routed.load_words[m] == 0) return;
+    cell_scratch_[m * banks + bank] =
+        sketches.ingest_cell(m, static_cast<unsigned>(bank), routed);
+  };
+  if (p != nullptr) {
+    p->parallel_for_grid(machines, banks, run_cell);
+  } else {
+    for (std::size_t row = 0; row < machines; ++row) {
+      for (unsigned b = 0; b < banks; ++b) run_cell(row, b);
     }
   }
+  // Deterministic aggregation: fold the per-cell scratch in machine-major
+  // order, regardless of which thread finished which cell when.
+  for (std::uint64_t m = 0; m < machines; ++m) {
+    if (routed.load_words[m] == 0) continue;
+    stats_.cell_steps += banks;
+    for (unsigned b = 0; b < banks; ++b) {
+      stats_.applied_updates += cell_scratch_[m * banks + b];
+    }
+  }
+}
 
-  // Delivery: one synchronous scatter round, per-machine loads on the
-  // ledger (and, when scratch == s, the same overflow the pre-scan saw is
-  // recorded as a Cluster capacity violation).
-  cluster_.charge_routed(routed, label);
-  ++stats_.batches;
-
-  // Machine steps: the local-computation half of the delivered round.
-  // Each step touches only the sub-batch the machine received and the
-  // sketch cells of vertices it hosts; steps share no mutable state, so
-  // any visit order yields byte-identical sketches.
-  for (const std::uint64_t m : order) {
-    const std::uint64_t need = routed.load_words[m];
-    if (need == 0) continue;
-    ++stats_.machine_steps;
-    stats_.peak_step_words = std::max(stats_.peak_step_words, need);
-    sketches.ingest_machine(m, routed);
+void Simulator::execute(const RoutedBatch& routed, const std::string& label,
+                        const MachineStep& step) {
+  SMPC_CHECK_MSG(routed.machines() == cluster_.machines(),
+                 "routed batch was built for a different machine count");
+  preflight(routed, label, {});
+  for (std::uint64_t m = 0; m < routed.machines(); ++m) {
+    if (routed.load_words[m] == 0) continue;
+    ++stats_.cell_steps;
+    step(m, routed.machine_items(m));
   }
 }
 

@@ -1,33 +1,55 @@
-// True per-machine MPC simulation executor.
+// Per-machine MPC simulation executor, scheduled as a 2-D work grid.
 //
 // PR 2's routing layer made per-machine loads *observable*: a batch is
 // split into per-machine sub-batches (Cluster::route_batch) and the loads
-// are charged on the CommLedger — but the routed sub-batches were still
-// ingested as one flat in-process pass, so the paper's core claim (each
-// machine processes its O(n^phi)-word share within its local memory s,
-// §5/§6) was accounted, never *executed*.  The Simulator closes that gap:
-// it takes a RoutedBatch and drives ingest machine by machine — each
-// simulated machine gets a bounded scratch region sized from the cluster's
-// local_capacity_words(), ingests only its own CSR sub-batch (the
-// VertexSketches::ingest_machine slice API), and a sub-batch that does not
-// fit the scratch budget trips a structured MemoryBudgetExceeded
-// diagnostic instead of silently spilling.  This mirrors how the
-// batch-dynamic MPC literature (Nowicki–Onak; Czumaj–Davies–Parter)
-// validates low-space algorithms: by stepping machines one at a time under
-// a hard memory cap.
+// are charged on the CommLedger.  PR 3's executor made them *executed*:
+// each simulated machine ingests only its own CSR sub-batch under a
+// bounded scratch budget, machine by machine.  This version closes the
+// remaining gap to the model, in both directions:
 //
-// Round semantics: delivering the routed batch is one synchronous scatter
-// round, charged through Cluster::charge_routed exactly as in kRouted mode
-// — the machine steps themselves are the *local computation* of that round
-// (all machines work in parallel in the model; the simulation merely
-// serializes them in wall-clock), so phase_rounds() reflects the same
-// O(1/phi) schedule the theorems bound.  Because sketch cells are linear
-// and commutative, the machine visit order is irrelevant: any permutation
-// yields byte-identical sketch state, equal to flat ingest of the original
-// batch (asserted in tests/test_mpc_simulation*.cc).
+//  * Parallelism.  In the MPC model every machine computes its round
+//    locally, in parallel — but the PR 3 executor serialized the machine
+//    steps in wall-clock.  A machine step is itself a loop over the t
+//    sketch banks, so the batch's real work grid is machines x banks, and
+//    within a bank two machines' cells touch disjoint vertices (the router
+//    delivers each endpoint's delta only to the machine hosting it, and
+//    machines host disjoint vertex blocks).  After the sketches
+//    pre-allocate every page the batch will touch in a deterministic
+//    canonical-order pass (VertexSketches::begin_routed_cells), the cells
+//    share no mutable state at all, and the executor schedules the whole
+//    grid onto a work-stealing ThreadPool (parallel_for_grid).  All cell
+//    arithmetic is commutative integer/Mersenne addition into disjoint
+//    pre-sized cells, so ANY schedule — any thread count, any completion
+//    order — leaves the arenas byte-identical to serial machine-by-machine
+//    ingest (asserted across threads {1, 2, 8} in tests/test_mpc_grid.cc).
+//
+//  * Memory fidelity.  The model's binding resource is each machine's
+//    local memory s, and a machine's claim on it is not just the delivered
+//    sub-batch (scratch) but the sketch shard it hosts *permanently* —
+//    the arena pages of its vertex block (resident).  Before every
+//    delivery the executor folds resident[m] =
+//    VertexSketches::resident_words(m, cluster) per machine, charges
+//    resident + delivered against the budget, records the peaks on the
+//    CommLedger, and surfaces both components in Stats.  The batch-dynamic
+//    MPC line (Nowicki–Onak, arXiv:2002.07800) and the round-compression
+//    work (arXiv:1807.08745) both size batches so exactly this sum stays
+//    under s; charging only the delivery (PR 3) understated the claim.
+//
+// Determinism of accounting: the budget pre-scan, the resident fold, the
+// delivery charge, and the Stats fold all run serially, in machine-major
+// order, strictly outside the parallel section — cells only write their
+// own slot of a pre-sized scratch vector.  Stats (including the overrun
+// list) and the CommLedger are therefore identical for every thread count.
+//
+// Round semantics are unchanged from PR 3: delivering the routed batch is
+// one synchronous scatter round (Cluster::charge_routed, same as kRouted
+// mode); the grid cells are the local-computation half of that round, so
+// phase_rounds() reflects the same O(1/phi) schedule the theorems bound.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -38,78 +60,149 @@
 
 namespace streammpc {
 
+class ThreadPool;
 class VertexSketches;
 
 namespace mpc {
 
-// Structured diagnostic: one simulated machine's sub-batch does not fit
-// its scratch budget.  Derives from std::runtime_error (not CheckError —
-// this is a *model capacity* condition the driver chose to enforce, not a
-// library invariant violation) and carries the offending geometry so
-// callers can react programmatically (shrink the batch, grow phi, ...).
+// Structured diagnostic: one simulated machine's claim on local memory —
+// resident sketch shard plus delivered sub-batch — does not fit its
+// budget.  Derives from std::runtime_error (not CheckError — this is a
+// *model capacity* condition the driver chose to enforce, not a library
+// invariant violation) and carries the offending geometry so callers can
+// react programmatically (shrink the batch, grow phi, ...).
 class MemoryBudgetExceeded : public std::runtime_error {
  public:
   MemoryBudgetExceeded(std::uint64_t machine, std::uint64_t needed_words,
-                       std::uint64_t budget_words, std::string label);
+                       std::uint64_t budget_words, std::string label,
+                       std::uint64_t resident_words = 0);
 
   std::uint64_t machine() const { return machine_; }
+  // Total claim: resident_words() + the delivered sub-batch.
   std::uint64_t needed_words() const { return needed_words_; }
   std::uint64_t budget_words() const { return budget_words_; }
+  // Resident component of the claim (0 for executions without sketches).
+  std::uint64_t resident_words() const { return resident_words_; }
   const std::string& label() const { return label_; }
 
  private:
   std::uint64_t machine_;
   std::uint64_t needed_words_;
   std::uint64_t budget_words_;
+  std::uint64_t resident_words_;
   std::string label_;
 };
 
 class Simulator {
  public:
+  // One recorded non-strict budget overrun, in deterministic
+  // (batch, machine-ascending) order — the list two runs of the same
+  // stream must reproduce exactly, regardless of thread count.
+  struct Overrun {
+    std::uint64_t machine = 0;
+    std::uint64_t needed_words = 0;    // resident + delivered
+    std::uint64_t resident_words = 0;  // resident component
+    std::uint64_t budget_words = 0;
+
+    friend bool operator==(const Overrun&, const Overrun&) = default;
+  };
+
   struct Stats {
     std::uint64_t batches = 0;        // routed batches executed
     std::uint64_t machine_steps = 0;  // non-empty machine sub-batches run
+    std::uint64_t cell_steps = 0;     // (machine, bank) grid cells scheduled
+    std::uint64_t applied_updates = 0;  // items applied, summed over cells
     std::uint64_t peak_step_words = 0;  // largest sub-batch any step held
-    // Non-strict mode only: over-budget steps that were executed anyway
-    // (the overflow is still a recorded Cluster violation via
-    // charge_routed when scratch == s).
+    // Resident-memory fidelity: largest per-machine sketch shard observed
+    // at any delivery, and the largest resident + delivered total — the
+    // machine's full claim against local memory s.
+    std::uint64_t peak_resident_words = 0;
+    std::uint64_t peak_machine_words = 0;
+    // Non-strict mode only: over-budget machines that were executed anyway,
+    // with the overrun list in deterministic order.  The counters are
+    // exact; the list keeps only the first kMaxOverrunRecords entries so a
+    // stream that is permanently over budget (the small-phi sweep cells)
+    // cannot grow it without bound.
+    static constexpr std::size_t kMaxOverrunRecords = 4096;
     std::uint64_t budget_overruns = 0;
     std::uint64_t worst_overrun_words = 0;  // max(needed - budget) observed
+    std::vector<Overrun> overruns;
   };
 
-  // `scratch_words` bounds each simulated machine's working memory for one
-  // step (its delivered sub-batch); 0 = the cluster's local memory s.
-  // Enforcement follows the cluster's strictness: strict clusters throw
-  // MemoryBudgetExceeded *before any machine has ingested anything and
-  // before any round is charged* (the batch is rejected whole, keeping the
-  // sketches and accounting untouched) — under a strict cluster the
-  // effective per-step budget is min(scratch_words, s), since a load above
-  // s would otherwise surface as a post-charge CheckError from
-  // charge_routed; non-strict clusters record scratch overruns in stats()
-  // and proceed, so benches can measure headroom instead of dying.
-  explicit Simulator(Cluster& cluster, std::uint64_t scratch_words = 0);
+  // `scratch_words` bounds each simulated machine's claim for one step
+  // (resident shard + delivered sub-batch); 0 = the cluster's local
+  // memory s.  Enforcement follows the cluster's strictness: strict
+  // clusters throw MemoryBudgetExceeded *before any page has been
+  // allocated, any cell has run, and any round has been charged* (the
+  // batch is rejected whole, keeping the sketches and accounting
+  // untouched) — under a strict cluster the effective per-step budget is
+  // min(scratch_words, s), since a load above s would otherwise surface
+  // as a post-charge CheckError from charge_routed; non-strict clusters
+  // record overruns in stats() and proceed, so benches can measure
+  // headroom instead of dying.
+  //
+  // `grid_threads` sizes the cell scheduler's worker pool: 1 = serial
+  // canonical (machine-major) order, the readable debugging baseline;
+  // 0 = auto — the SMPC_SIM_THREADS environment variable if set (the CI
+  // conformance gate runs the matrix at 1 and 4), else the hardware
+  // concurrency.  The sketch and accounting state never depend on this
+  // value.
+  explicit Simulator(Cluster& cluster, std::uint64_t scratch_words = 0,
+                     unsigned grid_threads = 0);
+  ~Simulator();
 
   // Delivers `routed` (one charge_routed scatter round + ledger record)
-  // and steps the machines in ascending id order.
+  // and runs the machines x banks cell grid.
   void execute(const RoutedBatch& routed, const std::string& label,
                VertexSketches& sketches);
 
-  // Same, but visits machines in the given order — `order` must be a
-  // permutation of [0, machines).  Exists to make the order-invariance
-  // property testable; front ends always use ascending order.
+  // Same, but schedules the machine rows in the given order — `order` must
+  // be a permutation of [0, machines).  Exists to make the order-invariance
+  // property testable; front ends always use ascending order.  (Page
+  // preparation is always canonical, so even the byte state is
+  // order-independent.)
   void execute(const RoutedBatch& routed, const std::string& label,
                VertexSketches& sketches, std::span<const std::uint64_t> order);
 
+  // Sketch-free executor for front ends whose per-machine state is not a
+  // VertexSketches shard (the matching sparsifiers): same delivery charge,
+  // budget pre-scan (resident = 0), and stats, with the local computation
+  // delegated to `step`, called serially per non-empty machine in
+  // ascending order with that machine's CSR sub-batch.
+  using MachineStep =
+      std::function<void(std::uint64_t machine,
+                         std::span<const RoutedBatch::Item> items)>;
+  void execute(const RoutedBatch& routed, const std::string& label,
+               const MachineStep& step);
+
   std::uint64_t scratch_words() const { return scratch_words_; }
+  unsigned grid_threads() const { return grid_threads_; }
   const Cluster& cluster() const { return cluster_; }
   const Stats& stats() const { return stats_; }
 
  private:
+  // Shared pre-flight: validates the order permutation, folds the
+  // per-machine resident words (empty span = all zero), enforces the
+  // budget (throw or record), charges the delivery, and updates the
+  // serial half of Stats.  Returns normally iff the batch may execute.
+  void preflight(const RoutedBatch& routed, const std::string& label,
+                 std::span<const std::uint64_t> resident);
+  ThreadPool* pool(std::size_t cells);
+
   Cluster& cluster_;
   std::uint64_t scratch_words_;
+  unsigned grid_threads_;
   Stats stats_;
-  std::vector<std::uint64_t> order_scratch_;  // ascending ids, reused
-  std::vector<char> seen_scratch_;            // permutation check, reused
+  std::unique_ptr<ThreadPool> pool_;  // lazily created for grid_threads > 1
+  std::vector<std::uint64_t> order_scratch_;     // ascending ids, reused
+  std::vector<char> seen_scratch_;               // permutation check, reused
+  std::vector<std::uint64_t> resident_scratch_;  // [machine], reused
+  std::vector<std::uint64_t> cell_scratch_;  // [machine * banks + bank], reused
+  // Resident-fold memo: pages are never freed, so the per-machine resident
+  // distribution changes only when the allocation watermark grows — the
+  // O(n)-scan fold is re-run only then (O(banks * stores) to check).
+  const VertexSketches* resident_cache_sketches_ = nullptr;
+  std::uint64_t resident_cache_words_ = 0;
 };
 
 }  // namespace mpc

@@ -58,6 +58,14 @@ class ApproxMsf {
 
   std::size_t num_components() const { return levels_.back()->num_components(); }
 
+  // Execution-mode plumbing: config.connectivity.exec_mode selects Flat |
+  // Routed | Simulated for every level; the cluster (and hence the
+  // Simulator) is attached to the top-threshold instance, whose bill
+  // dominates.  Non-null iff kSimulated and a cluster is attached.
+  const mpc::Simulator* simulator() const {
+    return levels_.back()->simulator();
+  }
+
   std::uint64_t memory_words() const;
 
  private:

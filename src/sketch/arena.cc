@@ -75,6 +75,32 @@ void BankArena::apply(VertexId v, Coord c, std::int64_t delta,
   }
 }
 
+void BankArena::prepare_pages(VertexId v, unsigned depth) {
+  page_for(hot_, v, hot_cells_);
+  for (unsigned j = hot_levels_; j <= depth && j < levels_; ++j) {
+    page_for(overflow_store(j), v, cells_per_level_);
+  }
+}
+
+std::uint64_t BankArena::resident_words(VertexId lo, VertexId hi) const {
+  SMPC_CHECK(lo <= hi && hi <= n_);
+  const auto store_words = [&](const Store& store, std::size_t cells) {
+    if (store.page_of.empty()) return std::uint64_t{0};
+    std::uint64_t pages = 0;
+    for (VertexId v = lo; v < hi; ++v) {
+      if (store.page_of[v] != kNoPage) ++pages;
+    }
+    // Same accounting as allocated_words(): 4 words per cell, half a word
+    // per page-map entry.
+    return pages * cells * 4 + (hi - lo) / 2;
+  };
+  std::uint64_t words = store_words(hot_, hot_cells_);
+  for (const Store& store : overflow_) {
+    words += store_words(store, cells_per_level_);
+  }
+  return words;
+}
+
 void BankArena::merge_into(const L0Params& params,
                            std::span<const VertexId> vertices,
                            L0Sampler& out) const {

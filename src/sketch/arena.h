@@ -46,6 +46,26 @@ class BankArena {
   void apply(VertexId v, Coord c, std::int64_t delta, const CoordPlan& plan,
              bool negated);
 
+  // Allocates (if absent) every page an apply(v, ...) of depth `depth`
+  // would touch: the hot page plus the overflow pages of levels
+  // [hot, depth].  Mirrors apply's first-touch allocation sequence exactly,
+  // so a serial preparation pass in canonical order yields the same page
+  // numbering as serial ingest — after which apply() on prepared vertices
+  // performs no allocation and concurrent apply() calls on DISJOINT
+  // vertex sets are race-free (they write disjoint, pre-sized cells).
+  // This is what makes the Simulator's (machine, bank) grid cells
+  // schedulable in any order while staying byte-identical to serial
+  // machine-by-machine ingest.
+  void prepare_pages(VertexId v, unsigned depth);
+
+  // Words of cell and page-map storage attributable to the vertex block
+  // [lo, hi) — the *resident* footprint of the machine hosting those
+  // vertices under the contiguous-block partitioner.  Page-map words are
+  // charged at the same half-word-per-entry rate as allocated_words(), so
+  // summing over a partition of [0, n) reproduces allocated_words() up to
+  // one word of rounding per block.
+  std::uint64_t resident_words(VertexId lo, VertexId hi) const;
+
   // Element-wise sum of the vertices' cells into `out` (Lemma 3.5's S_A).
   // Resets `out` first and reuses its buffer — no allocation after the
   // first call with the same scratch sampler.

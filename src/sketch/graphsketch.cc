@@ -64,6 +64,9 @@ void VertexSketches::update_edge(Edge e, std::int64_t delta) {
 template <typename ItemAt>
 void VertexSketches::ingest_items(std::size_t count, const ItemAt& item_at) {
   if (count == 0) return;
+  // Any other ingest invalidates a prepared cell grid.
+  cells_ready_batch_ = nullptr;
+  cells_ready_items_ = kCellsNotReady;
   // Encode coordinates once for all banks (and validate up front, so a bad
   // edge throws before any bank has been mutated).
   coord_scratch_.resize(count);
@@ -127,6 +130,90 @@ void VertexSketches::ingest_machine(std::uint64_t machine,
     return IngestItem{items[i].delta.e, items[i].delta.delta,
                       items[i].endpoints};
   });
+}
+
+void VertexSketches::begin_routed_cells(const mpc::RoutedBatch& routed,
+                                        ThreadPool* pool) {
+  const std::size_t count = routed.items.size();
+  cells_ready_batch_ = nullptr;
+  cells_ready_items_ = kCellsNotReady;
+  // Validate and encode every item before any page is allocated, so a bad
+  // edge throws with the arenas untouched (the same contract as
+  // ingest_items).
+  coord_scratch_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Edge e = routed.items[i].delta.e;
+    SMPC_CHECK(e.u < e.v && e.v < n_);
+    coord_scratch_[i] = codec_.encode(e);
+  }
+  const std::size_t cells =
+      static_cast<std::size_t>(routed.machines()) * banks();
+  if (cell_plans_.size() < cells) cell_plans_.resize(cells);
+  // Page preparation, one independent pass per bank.  The CSR already
+  // stores items grouped by machine in ascending order, so a linear walk
+  // IS the canonical machine-major first-touch sequence of serial ingest;
+  // within an item the endpoints and levels are touched in exactly
+  // apply()'s order (max endpoint first, hot page, then deepening
+  // overflow).  Banks share nothing, so fanning the pass across `pool`
+  // cannot change any bank's allocation sequence.
+  const auto prepare_bank = [&](std::size_t b) {
+    BankArena& arena = arenas_[b];
+    const L0Params& params = params_[b];
+    for (std::size_t i = 0; i < count; ++i) {
+      const mpc::RoutedBatch::Item& item = routed.items[i];
+      if (item.delta.delta == 0 || item.endpoints == 0) continue;
+      const unsigned depth = params.depth_of(coord_scratch_[i]);
+      if (item.endpoints & mpc::RoutedBatch::kEndpointV)
+        arena.prepare_pages(item.delta.e.v, depth);
+      if (item.endpoints & mpc::RoutedBatch::kEndpointU)
+        arena.prepare_pages(item.delta.e.u, depth);
+    }
+  };
+  if (pool != nullptr && count >= kParallelBatchMin) {
+    pool->parallel_for(banks(), prepare_bank);
+  } else {
+    for (unsigned b = 0; b < banks(); ++b) prepare_bank(b);
+  }
+  cells_ready_batch_ = &routed;
+  cells_ready_items_ = count;
+}
+
+std::uint64_t VertexSketches::ingest_cell(std::uint64_t machine, unsigned bank,
+                                          const mpc::RoutedBatch& routed) {
+  SMPC_CHECK(machine < routed.machines() && bank < banks());
+  SMPC_CHECK_MSG(cells_ready_batch_ == &routed &&
+                     cells_ready_items_ == routed.items.size(),
+                 "begin_routed_cells must prepare this batch first");
+  const std::size_t begin = routed.offsets[machine];
+  const std::size_t end = routed.offsets[machine + 1];
+  BankArena& arena = arenas_[bank];
+  const L0Params& params = params_[bank];
+  CoordPlan& plan = cell_plans_[machine * banks() + bank];
+  std::uint64_t applied = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const mpc::RoutedBatch::Item& item = routed.items[i];
+    if (item.delta.delta == 0 || item.endpoints == 0) continue;
+    if (i + 1 < end) arena.prefetch(routed.items[i + 1].delta.e);
+    const Coord c = coord_scratch_[i];
+    params.plan_coord(c, item.delta.delta, plan);
+    if (item.endpoints & mpc::RoutedBatch::kEndpointV)
+      arena.apply(item.delta.e.v, c, item.delta.delta, plan, /*negated=*/false);
+    if (item.endpoints & mpc::RoutedBatch::kEndpointU)
+      arena.apply(item.delta.e.u, c, -item.delta.delta, plan, /*negated=*/true);
+    ++applied;
+  }
+  return applied;
+}
+
+std::uint64_t VertexSketches::resident_words(std::uint64_t machine,
+                                             const mpc::Cluster& cluster) const {
+  const auto [first, last] = cluster.vertex_block(machine, n_);
+  std::uint64_t total = 0;
+  for (const BankArena& arena : arenas_) {
+    total += arena.resident_words(static_cast<VertexId>(first),
+                                  static_cast<VertexId>(last));
+  }
+  return total;
 }
 
 void VertexSketches::merged_into(unsigned bank,

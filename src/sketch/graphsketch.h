@@ -95,6 +95,43 @@ class VertexSketches {
   // thread-safety, and determinism as the other overloads.
   void ingest_machine(std::uint64_t machine, const mpc::RoutedBatch& routed);
 
+  // --- (machine, bank) cell ingest: the Simulator's 2-D work grid -----------
+  // ingest_machine sliced once more, along the bank axis.  Within a bank,
+  // two machines' cells touch disjoint vertices (the router sends each
+  // endpoint's delta only to the machine hosting it, and machines host
+  // disjoint vertex blocks), so after a deterministic preparation pass the
+  // grid's cells can run concurrently in ANY schedule and still leave the
+  // arenas byte-identical to serial machine-by-machine ingest.
+  //
+  // begin_routed_cells() validates and encodes every routed item once and
+  // pre-allocates — in the canonical order serial ingest would use
+  // (machine-ascending, batch order, max endpoint first, hot page then
+  // deepening overflow levels) — every arena page any cell will touch.
+  // The pass is independent per bank and may fan out across `pool`; page
+  // numbering never depends on the thread count.  After it returns, the
+  // arenas are fully sized and ingest_cell() performs no allocation.
+  void begin_routed_cells(const mpc::RoutedBatch& routed,
+                          ThreadPool* pool = nullptr);
+
+  // One grid cell: applies machine `machine`'s CSR sub-batch to bank
+  // `bank` alone, using that cell's private plan scratch.  Returns the
+  // number of items applied (nonzero delta, at least one owned endpoint).
+  // Requires a begin_routed_cells(routed) call since the last mutation;
+  // distinct (machine, bank) cells may run concurrently, a single cell is
+  // not reentrant.  Running every cell of the grid, in any order, is
+  // byte-identical to update_edges(routed).
+  std::uint64_t ingest_cell(std::uint64_t machine, unsigned bank,
+                            const mpc::RoutedBatch& routed);
+
+  // Words of sketch-shard state resident on `machine`: the arena pages (and
+  // page-map share) of the vertex block the cluster's partitioner assigns
+  // it, summed over banks.  This is the memory the machine holds *between*
+  // rounds — charged against local memory s alongside the delivered
+  // sub-batch by the Simulator's resident-fidelity accounting.  `universe`
+  // for the block is n().
+  std::uint64_t resident_words(std::uint64_t machine,
+                               const mpc::Cluster& cluster) const;
+
   // Merged sampler of bank `bank` over a vertex set (Lemma 3.5's S_A).
   // The _into variant reuses `out`'s buffer across calls.
   L0Sampler merged(unsigned bank, std::span<const VertexId> vertices) const;
@@ -155,6 +192,18 @@ class VertexSketches {
   std::vector<BankArena> arenas_;  // one per bank
   std::vector<Coord> coord_scratch_;
   std::unique_ptr<ThreadPool> pool_;  // lazily created for ingest_threads > 1
+  // Cell-ingest state: per-(machine, bank) plan scratch (cells never share
+  // a buffer) plus the identity (object + item count) of the batch the
+  // last begin_routed_cells prepared — ingest_cell refuses any other
+  // batch, so a stale or foreign RoutedBatch fails the check instead of
+  // applying deltas against another batch's cached coordinates.  (A batch
+  // mutated in place between prepare and ingest at the same size is still
+  // the caller's bug; the documented contract is prepare-then-ingest with
+  // no intervening mutation.)
+  std::vector<CoordPlan> cell_plans_;  // [machine * banks + bank]
+  static constexpr std::size_t kCellsNotReady = ~std::size_t{0};
+  const mpc::RoutedBatch* cells_ready_batch_ = nullptr;
+  std::size_t cells_ready_items_ = kCellsNotReady;
 };
 
 // Deterministic CSR grouping for sample_boundaries(): assigns items

@@ -1,0 +1,431 @@
+// Conformance suite for the 2-D (machine x bank) grid executor (ISSUE 4):
+// thread-count invariance of simulated ingest (byte-identical sketches,
+// identical CommLedger state, identical Stats including the overrun list
+// in deterministic order, across threads {1, 2, 8} and machines
+// {1, 4, 16, 64}); the canonical machine-major serial order of the
+// single-thread fallback; pre-mutation rejection by strict clusters even
+// under a concurrent schedule; and the resident-memory accounting
+// (vertex blocks, resident sums, ledger peaks, resident-driven rejection).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "graph/generators.h"
+#include "mpc/cluster.h"
+#include "mpc/simulator.h"
+#include "sketch/graphsketch.h"
+#include "test_support.h"
+
+namespace streammpc {
+namespace {
+
+using test::expect_identical_samples;
+using test::probe_sets;
+using test::random_deltas;
+
+constexpr unsigned kThreadCounts[] = {1, 2, 8};
+constexpr std::uint64_t kMachineCounts[] = {1, 4, 16, 64};
+
+// ---------------- ThreadPool grid scheduling --------------------------------
+
+TEST(GridThreadPool, SerialGridRunsInCanonicalRowMajorOrder) {
+  // threads = 1 must execute cells strictly in (row-major) canonical order
+  // — for the Simulator's grid this is machine-major, the readable
+  // debugging baseline.
+  ThreadPool pool(1);
+  std::vector<std::pair<std::size_t, std::size_t>> seen;
+  pool.parallel_for_grid(3, 4, [&](std::size_t r, std::size_t c) {
+    seen.emplace_back(r, c);
+  });
+  ASSERT_EQ(seen.size(), 12u);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].first, i / 4) << "cell " << i;
+    EXPECT_EQ(seen[i].second, i % 4) << "cell " << i;
+  }
+}
+
+TEST(GridThreadPool, ParallelGridCoversEveryCellExactlyOnce) {
+  ThreadPool pool(4);
+  for (const auto [rows, cols] :
+       {std::pair<std::size_t, std::size_t>{1, 1}, {7, 3}, {16, 12}, {64, 5}}) {
+    std::vector<std::atomic<int>> hits(rows * cols);
+    pool.parallel_for_grid(rows, cols, [&](std::size_t r, std::size_t c) {
+      hits[r * cols + c].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "rows=" << rows << " cols=" << cols
+                                   << " cell=" << i;
+    }
+  }
+}
+
+TEST(GridThreadPool, StealingBalancesSkewedRows) {
+  // One row carries all the work (the star-stream shape): every cell must
+  // still run exactly once and the pool must not deadlock.
+  ThreadPool pool(3);
+  const std::size_t rows = 8, cols = 6;
+  std::vector<std::atomic<int>> hits(rows * cols);
+  std::atomic<std::uint64_t> work{0};
+  pool.parallel_for_grid(rows, cols, [&](std::size_t r, std::size_t c) {
+    hits[r * cols + c].fetch_add(1);
+    if (r == 0) {  // the heavy machine
+      std::uint64_t x = 0;
+      for (int i = 0; i < 20000; ++i) x += static_cast<std::uint64_t>(i) * c;
+      work.fetch_add(x);
+    }
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(GridThreadPool, FirstExceptionPropagatesAfterJoin) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          if (i == 17) throw std::runtime_error("cell 17");
+                        }),
+      std::runtime_error);
+  // The pool survives and remains usable after a throwing job.
+  std::vector<std::atomic<int>> hits(8);
+  pool.parallel_for(8, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// ---------------- thread-count invariance ------------------------------------
+
+void expect_identical_stats(const mpc::Simulator::Stats& a,
+                            const mpc::Simulator::Stats& b) {
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.machine_steps, b.machine_steps);
+  EXPECT_EQ(a.cell_steps, b.cell_steps);
+  EXPECT_EQ(a.applied_updates, b.applied_updates);
+  EXPECT_EQ(a.peak_step_words, b.peak_step_words);
+  EXPECT_EQ(a.peak_resident_words, b.peak_resident_words);
+  EXPECT_EQ(a.peak_machine_words, b.peak_machine_words);
+  EXPECT_EQ(a.budget_overruns, b.budget_overruns);
+  EXPECT_EQ(a.worst_overrun_words, b.worst_overrun_words);
+  EXPECT_EQ(a.overruns, b.overruns);  // deterministic order required
+}
+
+void expect_identical_ledgers(const mpc::CommLedger& a,
+                              const mpc::CommLedger& b) {
+  ASSERT_EQ(a.machines(), b.machines());
+  EXPECT_EQ(a.rounds(), b.rounds());
+  EXPECT_EQ(a.total_words(), b.total_words());
+  EXPECT_EQ(a.max_machine_load(), b.max_machine_load());
+  EXPECT_EQ(a.words_by_machine(), b.words_by_machine());
+  EXPECT_EQ(a.peak_resident_words(), b.peak_resident_words());
+  EXPECT_EQ(a.peak_machine_total_words(), b.peak_machine_total_words());
+  EXPECT_EQ(a.resident_peak_by_machine(), b.resident_peak_by_machine());
+}
+
+// Drives chunked simulated ingest with an explicit grid thread count.
+struct SimRun {
+  mpc::Cluster cluster;
+  mpc::Simulator sim;
+  VertexSketches sketches;
+
+  SimRun(VertexId n, const GraphSketchConfig& cfg, std::uint64_t machines,
+         unsigned threads, std::uint64_t scratch_words = 0)
+      : cluster(test::make_cluster(n, machines)),
+        sim(cluster, scratch_words, threads),
+        sketches(n, cfg) {}
+
+  void ingest(std::span<const EdgeDelta> deltas, std::size_t chunk) {
+    mpc::RoutedBatch routed;
+    for (std::size_t start = 0; start < deltas.size(); start += chunk) {
+      const std::size_t len = std::min(chunk, deltas.size() - start);
+      cluster.route_batch(deltas.subspan(start, len), sketches.n(), routed);
+      sim.execute(routed, "grid-invariance", sketches);
+    }
+  }
+};
+
+TEST(GridConformance, ThreadCountInvarianceAcrossMachineCounts) {
+  const VertexId n = 96;
+  GraphSketchConfig cfg;
+  cfg.banks = 6;
+  cfg.seed = 71003;
+  const auto deltas = random_deltas(n, 400, 72);
+  const auto sets = probe_sets(n, 73);
+
+  VertexSketches flat(n, cfg);
+  flat.update_edges(deltas);
+
+  for (const std::uint64_t machines : kMachineCounts) {
+    SimRun baseline(n, cfg, machines, /*threads=*/1);
+    baseline.ingest(deltas, 64);
+    expect_identical_samples(flat, baseline.sketches, cfg.banks, sets);
+    EXPECT_EQ(flat.allocated_words(), baseline.sketches.allocated_words());
+
+    for (const unsigned threads : kThreadCounts) {
+      if (threads == 1) continue;
+      SCOPED_TRACE(::testing::Message()
+                   << "machines=" << machines << " threads=" << threads);
+      SimRun run(n, cfg, machines, threads);
+      run.ingest(deltas, 64);
+      // Byte-identical sketches, identical ledger, identical stats — the
+      // grid schedule must be unobservable.
+      expect_identical_samples(baseline.sketches, run.sketches, cfg.banks,
+                               sets);
+      EXPECT_EQ(baseline.sketches.allocated_words(),
+                run.sketches.allocated_words());
+      expect_identical_ledgers(baseline.cluster.comm_ledger(),
+                               run.cluster.comm_ledger());
+      expect_identical_stats(baseline.sim.stats(), run.sim.stats());
+      EXPECT_EQ(baseline.cluster.rounds(), run.cluster.rounds());
+      EXPECT_EQ(baseline.cluster.comm_total(), run.cluster.comm_total());
+    }
+  }
+}
+
+TEST(GridConformance, ThreadCountInvarianceIncludesOverrunLists) {
+  // An undersized scratch budget on a non-strict cluster produces overruns
+  // — the recorded list (machine ids, needed/resident/budget words, order)
+  // must be identical for every thread count.
+  const VertexId n = 64;
+  GraphSketchConfig cfg;
+  cfg.banks = 4;
+  cfg.seed = 74001;
+  const auto deltas = random_deltas(n, 240, 75);
+  const auto sets = probe_sets(n, 76);
+
+  SimRun baseline(n, cfg, 4, /*threads=*/1, /*scratch_words=*/64);
+  baseline.ingest(deltas, 48);
+  ASSERT_GT(baseline.sim.stats().budget_overruns, 0u);
+  ASSERT_EQ(baseline.sim.stats().budget_overruns,
+            baseline.sim.stats().overruns.size());
+
+  for (const unsigned threads : {2u, 8u}) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    SimRun run(n, cfg, 4, threads, /*scratch_words=*/64);
+    run.ingest(deltas, 48);
+    expect_identical_samples(baseline.sketches, run.sketches, cfg.banks, sets);
+    expect_identical_stats(baseline.sim.stats(), run.sim.stats());
+    expect_identical_ledgers(baseline.cluster.comm_ledger(),
+                             run.cluster.comm_ledger());
+  }
+}
+
+// ---------------- strict rejection under a concurrent schedule ---------------
+
+TEST(GridBudget, StrictRejectsPreMutationEvenWithConcurrentCells) {
+  // A strict cluster must reject an over-budget batch BEFORE any cell has
+  // mutated anything — also when the executor is multi-threaded and other
+  // cells could already have been scheduled.  State after the throw must
+  // equal the state before the batch, bit for bit.
+  const VertexId n = 64;
+  GraphSketchConfig cfg;
+  cfg.banks = 4;
+  cfg.seed = 77001;
+  const auto sets = probe_sets(n, 78);
+  const auto good = random_deltas(n, 40, 79);
+
+  // Reference: only the good batch.
+  VertexSketches reference(n, cfg);
+  reference.update_edges(good);
+
+  mpc::MpcConfig mc = test::small_mpc_config(n);
+  mc.machines = 2;
+  mc.strict = true;
+  mpc::Cluster cluster(mc);
+  mpc::RoutedBatch routed;
+  cluster.route_batch(good, n, routed);
+  // Scratch override sized so the good batch fits (resident + load) but
+  // the star batch's hub machine cannot.
+  VertexSketches probe(n, cfg);
+  probe.update_edges(good);
+  const std::uint64_t resident_after =
+      probe.resident_words(0, cluster) + probe.resident_words(1, cluster);
+  const std::uint64_t scratch = resident_after + 512;
+
+  mpc::Simulator sim(cluster, scratch, /*grid_threads=*/8);
+  VertexSketches vs(n, cfg);
+  sim.execute(routed, "good", vs);
+  expect_identical_samples(reference, vs, cfg.banks, sets);
+  const std::uint64_t rounds_before = cluster.comm_ledger().rounds();
+  const auto stats_before = sim.stats();
+
+  // Star batch: every delta lands on machine 0, blowing its budget.
+  std::vector<EdgeDelta> star;
+  for (VertexId v = 1; v < n; ++v)
+    star.push_back(EdgeDelta{make_edge(0, v), +1});
+  // Repeat to guarantee the load alone exceeds the scratch budget.
+  std::vector<EdgeDelta> big;
+  for (int rep = 0; rep < 256; ++rep)
+    for (const EdgeDelta& d : star) big.push_back(d);
+  cluster.route_batch(big, n, routed);
+  ASSERT_GT(routed.load_words[0] + vs.resident_words(0, cluster), scratch);
+
+  try {
+    sim.execute(routed, "over-budget", vs);
+    FAIL() << "expected MemoryBudgetExceeded";
+  } catch (const mpc::MemoryBudgetExceeded& e) {
+    EXPECT_EQ(e.machine(), 0u);
+    EXPECT_GT(e.needed_words(), e.budget_words());
+    EXPECT_EQ(e.needed_words(),
+              e.resident_words() + routed.load_words[0]);
+  }
+  // Pre-mutation contract: sketches, ledger, and stats untouched.
+  expect_identical_samples(reference, vs, cfg.banks, sets);
+  EXPECT_EQ(cluster.comm_ledger().rounds(), rounds_before);
+  EXPECT_EQ(sim.stats().batches, stats_before.batches);
+  EXPECT_EQ(sim.stats().cell_steps, stats_before.cell_steps);
+}
+
+// ---------------- resident-memory accounting ---------------------------------
+
+TEST(ResidentAccounting, VertexBlocksPartitionAndInvertMachineOf) {
+  for (const std::uint64_t universe : {1ull, 2ull, 7ull, 96ull, 1024ull}) {
+    for (const std::uint64_t machines : {1ull, 3ull, 16ull, 64ull, 200ull}) {
+      mpc::Cluster cluster = test::make_cluster(
+          std::max<std::uint64_t>(universe, 2), machines);
+      std::uint64_t covered = 0;
+      std::uint64_t prev_end = 0;
+      for (std::uint64_t m = 0; m < machines; ++m) {
+        const auto [first, last] = cluster.vertex_block(m, universe);
+        EXPECT_EQ(first, prev_end) << "blocks must tile the universe";
+        EXPECT_LE(first, last);
+        for (std::uint64_t v = first; v < last; ++v) {
+          EXPECT_EQ(cluster.machine_of(v, universe), m);
+        }
+        covered += last - first;
+        prev_end = last;
+      }
+      EXPECT_EQ(covered, universe)
+          << "universe=" << universe << " machines=" << machines;
+    }
+  }
+}
+
+TEST(ResidentAccounting, ResidentWordsSumToAllocatedWithinRounding) {
+  const VertexId n = 96;
+  GraphSketchConfig cfg;
+  cfg.banks = 5;
+  cfg.seed = 80001;
+  VertexSketches vs(n, cfg);
+  vs.update_edges(random_deltas(n, 300, 81));
+
+  for (const std::uint64_t machines : kMachineCounts) {
+    mpc::Cluster cluster = test::make_cluster(n, machines);
+    std::uint64_t sum = 0;
+    for (std::uint64_t m = 0; m < machines; ++m) {
+      sum += vs.resident_words(m, cluster);
+    }
+    // Page-map words are charged at half a word per entry, so each
+    // (block, bank, store) loses at most one word of rounding.
+    const std::uint64_t slack = machines * cfg.banks * 20;
+    EXPECT_LE(sum, vs.allocated_words());
+    EXPECT_GE(sum + slack, vs.allocated_words())
+        << "machines=" << machines;
+  }
+}
+
+TEST(ResidentAccounting, SimulatorTracksResidentGrowthOnLedgerAndStats) {
+  const VertexId n = 96;
+  GraphSketchConfig cfg;
+  cfg.banks = 4;
+  cfg.seed = 82001;
+  const auto deltas = random_deltas(n, 300, 83);
+
+  SimRun run(n, cfg, 4, /*threads=*/2);
+  run.ingest(deltas, 50);
+
+  const mpc::Simulator::Stats& stats = run.sim.stats();
+  EXPECT_GT(stats.peak_resident_words, 0u);
+  EXPECT_GE(stats.peak_machine_words, stats.peak_resident_words);
+  EXPECT_GE(stats.peak_machine_words, stats.peak_step_words);
+  // The ledger saw the same peaks (they are folded from the same spans).
+  const mpc::CommLedger& ledger = run.cluster.comm_ledger();
+  EXPECT_EQ(ledger.peak_resident_words(), stats.peak_resident_words);
+  EXPECT_EQ(ledger.peak_machine_total_words(), stats.peak_machine_words);
+  ASSERT_EQ(ledger.resident_peak_by_machine().size(), 4u);
+  std::uint64_t max_by_machine = 0;
+  for (const std::uint64_t w : ledger.resident_peak_by_machine()) {
+    max_by_machine = std::max(max_by_machine, w);
+  }
+  EXPECT_EQ(max_by_machine, ledger.peak_resident_words());
+  // The final resident state is what the sketches report now.
+  std::uint64_t current = 0;
+  for (std::uint64_t m = 0; m < 4; ++m) {
+    current = std::max(current, run.sketches.resident_words(m, run.cluster));
+  }
+  EXPECT_LE(ledger.peak_resident_words(), current)
+      << "peaks are recorded pre-delivery, so the final shard is >= the "
+         "last recorded peak";
+}
+
+TEST(ResidentAccounting, StrictClusterRejectsWhenResidentShardOutgrowsS) {
+  // The load alone fits easily; the accumulated resident shard is what
+  // breaks the budget — exactly the condition delivery-only accounting
+  // (PR 3) could not see.
+  const VertexId n = 64;
+  GraphSketchConfig cfg;
+  cfg.banks = 3;
+  cfg.seed = 84001;
+  const auto batch1 = random_deltas(n, 60, 85);
+  const auto batch2 = random_deltas(n, 20, 86);
+
+  // Learn the resident footprint after batch1 with a throwaway instance.
+  mpc::Cluster sizing = test::make_cluster(n, 1);
+  VertexSketches probe(n, cfg);
+  probe.update_edges(batch1);
+  const std::uint64_t resident1 = probe.resident_words(0, sizing);
+  ASSERT_GT(resident1, 0u);
+  const std::uint64_t load2 = 2 * batch2.size();
+
+  mpc::MpcConfig mc = test::small_mpc_config(n);
+  mc.machines = 1;
+  mc.local_memory_words = resident1 + load2 - 1;  // batch2 must not fit
+  mc.strict = true;
+  mpc::Cluster cluster(mc);
+  mpc::Simulator sim(cluster);
+  VertexSketches vs(n, cfg);
+  mpc::RoutedBatch routed;
+  cluster.route_batch(batch1, n, routed);
+  sim.execute(routed, "fits", vs);  // resident 0 + load1 <= s
+  EXPECT_EQ(vs.resident_words(0, cluster), resident1);
+
+  cluster.route_batch(batch2, n, routed);
+  try {
+    sim.execute(routed, "resident-bound", vs);
+    FAIL() << "expected MemoryBudgetExceeded";
+  } catch (const mpc::MemoryBudgetExceeded& e) {
+    EXPECT_EQ(e.machine(), 0u);
+    EXPECT_EQ(e.resident_words(), resident1);
+    EXPECT_EQ(e.needed_words(), resident1 + load2);
+    EXPECT_EQ(e.budget_words(), resident1 + load2 - 1);
+  }
+}
+
+TEST(ResidentAccounting, CommLedgerResidentFoldUnit) {
+  mpc::CommLedger ledger(3);
+  const std::vector<std::uint64_t> resident1{10, 0, 5};
+  const std::vector<std::uint64_t> delivered1{4, 8, 0};
+  ledger.record_round(delivered1);
+  ledger.record_resident(resident1, delivered1);
+  EXPECT_EQ(ledger.peak_resident_words(), 10u);
+  EXPECT_EQ(ledger.peak_machine_total_words(), 14u);
+
+  const std::vector<std::uint64_t> resident2{2, 20, 5};
+  const std::vector<std::uint64_t> delivered2{0, 3, 100};
+  ledger.record_round(delivered2);
+  ledger.record_resident(resident2, delivered2);
+  EXPECT_EQ(ledger.peak_resident_words(), 20u);
+  EXPECT_EQ(ledger.peak_machine_total_words(), 105u);
+  const std::vector<std::uint64_t> expected_peaks{10, 20, 5};
+  EXPECT_EQ(ledger.resident_peak_by_machine(), expected_peaks);
+
+  ledger.reset(3);
+  EXPECT_EQ(ledger.peak_resident_words(), 0u);
+  EXPECT_EQ(ledger.peak_machine_total_words(), 0u);
+  EXPECT_TRUE(ledger.resident_peak_by_machine().empty());
+}
+
+}  // namespace
+}  // namespace streammpc
