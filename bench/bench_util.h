@@ -36,6 +36,15 @@ class BenchJson {
     values_[key] = value;
   }
 
+  // Reads back a previously set numeric metric (`fallback` if absent or
+  // non-numeric) — lets a bench derive summary verdicts from its own rows.
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    const double* d = std::get_if<double>(&it->second);
+    return d == nullptr ? fallback : *d;
+  }
+
   void flush() {
     if (flushed_) return;
     flushed_ = true;

@@ -9,9 +9,14 @@
 //     server-server link crept in (DynamicBipartiteness, Theorem 7.3).
 //
 // The backbone runs in *simulated* execution mode (mpc::ExecMode::
-// kSimulated): every update batch is routed per machine and then ingested
-// machine by machine under each machine's scratch budget — the true
-// per-machine simulation, not just accounting.
+// kSimulated): every update batch is routed per machine and then executed
+// as a (machine x bank) cell grid under each machine's memory budget —
+// resident sketch shard plus delivered sub-batch charged against a scratch
+// budget sized just above the resident watermark, so the adaptive batch
+// scheduler (mpc::BatchScheduler, SplitPolicy::kBisect) has real work to
+// do: batches that would overflow a machine are deterministically bisected
+// and retried, every split and retry charged honestly on the CommLedger.
+#include <algorithm>
 #include <iostream>
 #include <unordered_set>
 
@@ -20,11 +25,38 @@
 #include "common/table.h"
 #include "core/dynamic_connectivity.h"
 #include "graph/generators.h"
+#include "mpc/batch_scheduler.h"
 #include "mpc/cluster.h"
 #include "mpc/simulator.h"
 #include "msf/approx_msf.h"
 
 using namespace streammpc;
+
+// Sizes the simulated machines' scratch budget to the backbone's resident
+// watermark plus a one-delta margin: a dry deploy on a throwaway structure
+// measures how many words of sketch shard the busiest machine will host,
+// and the margin (2 words — a single routed delta) is deliberately smaller
+// than a batch's per-machine load once the shards saturate — so whole
+// batches overflow the busiest machine and the scheduler's bisect loop is
+// visible end to end, while a 1-delta leaf always fits (never exhausts).
+static std::uint64_t measure_scratch_budget(VertexId n,
+                                            const ConnectivityConfig& conn,
+                                            const std::vector<Edge>& links) {
+  mpc::MpcConfig mc;
+  mc.n = n;
+  mc.phi = 0.5;
+  mpc::Cluster probe_cluster(mc);
+  ConnectivityConfig probe_config = conn;
+  probe_config.scheduler.policy = mpc::SplitPolicy::kNone;
+  DynamicConnectivity probe(n, probe_config, &probe_cluster);
+  probe.bootstrap(links);
+  std::uint64_t max_resident = 0;
+  for (std::uint64_t m = 0; m < probe_cluster.machines(); ++m) {
+    max_resident = std::max(
+        max_resident, probe.sketches().resident_words(m, probe_cluster));
+  }
+  return max_resident + mpc::RoutedBatch::kWordsPerDelta;
+}
 
 int main() {
   const VertexId rows = 12, cols = 12;
@@ -36,17 +68,26 @@ int main() {
   mpc_config.phi = 0.5;
   mpc::Cluster cluster(mpc_config);
 
+  const auto grid_links = gen::grid_graph(rows, cols);
+
   ConnectivityConfig conn_config;
   conn_config.sketch.banks = 10;
   conn_config.sketch.seed = 11;
   conn_config.exec_mode = mpc::ExecMode::kSimulated;
+  conn_config.scheduler.policy = mpc::SplitPolicy::kBisect;
+  conn_config.simulator_scratch_words =
+      measure_scratch_budget(n, conn_config, grid_links);
   DynamicConnectivity backbone(n, conn_config, &cluster);
+  std::cout << "scheduler: bisect policy, per-machine budget "
+            << conn_config.simulator_scratch_words
+            << " words (resident watermark + one routed delta)\n";
 
   ApproxMsfConfig msf_config;
   msf_config.eps = 0.25;
   msf_config.w_max = 32;  // link costs in [1, 32]
   msf_config.connectivity.sketch.banks = 6;
   msf_config.connectivity.exec_mode = mpc::ExecMode::kSimulated;
+  msf_config.connectivity.scheduler.policy = mpc::SplitPolicy::kBisect;
   ApproxMsf spanning_cost(n, msf_config, &cluster);
 
   BipartitenessConfig bip_config;
@@ -55,7 +96,7 @@ int main() {
 
   // Deploy the grid: every link gets a cost; overlay edges connect
   // even-indexed (client) to odd-indexed (server) routers only.
-  const auto grid = gen::grid_graph(rows, cols);
+  const auto& grid = grid_links;
   std::unordered_set<Edge, EdgeHash> live(grid.begin(), grid.end());
   std::vector<Edge> live_list(grid.begin(), grid.end());
   std::unordered_map<Edge, Weight, EdgeHash> cost;
@@ -91,9 +132,11 @@ int main() {
             << spanning_cost.weight_estimate() << ", overlay bipartite: "
             << (overlay.is_bipartite() ? "yes" : "no") << "\n\n";
 
-  // Failure/recovery phases.
+  // Failure/recovery phases.  The "splits" column shows the adaptive loop
+  // at work: bisections the backbone's batch scheduler performed in that
+  // phase to keep every machine's resident + delivered claim under budget.
   Table table({"phase", "failed", "recovered", "partitions", "approx cost",
-               "overlay 2-colorable", "rounds"});
+               "overlay 2-colorable", "rounds", "splits"});
   std::vector<Edge> failed_links;
   for (int phase = 1; phase <= 10; ++phase) {
     Batch batch;
@@ -126,6 +169,7 @@ int main() {
       ++recoveries;
     }
     const auto rounds_before = cluster.rounds();
+    const auto splits_before = backbone.scheduler()->stats().splits;
     backbone.apply_batch(batch);
     spanning_cost.apply_batch(batch);
     overlay.apply_batch(overlay_batch);
@@ -136,7 +180,8 @@ int main() {
         .cell(static_cast<std::int64_t>(backbone.num_components()))
         .cell(spanning_cost.weight_estimate(), 1)
         .cell(overlay.is_bipartite() ? "yes" : "no")
-        .cell(cluster.rounds() - rounds_before);
+        .cell(cluster.rounds() - rounds_before)
+        .cell(backbone.scheduler()->stats().splits - splits_before);
   }
   table.print(std::cout);
 
@@ -161,5 +206,30 @@ int main() {
             << " scratch words, peak resident+delivered "
             << sim.peak_machine_words << " words, overruns: "
             << sim.budget_overruns << "\n";
+
+  // The adaptive loop, end to end: every bisect decision the backbone's
+  // scheduler took (which chunk, at what depth, which machine overflowed
+  // and by how much), then the ledger the split-and-retry discipline
+  // actually charged.
+  const mpc::BatchScheduler::Stats& sched = backbone.scheduler()->stats();
+  std::cout << "\nbatch scheduler (bisect): " << sched.batches
+            << " batches -> " << sched.subbatches << " deliveries via "
+            << sched.splits << " splits (" << sched.split_rounds
+            << " control rounds, max depth " << sched.max_depth
+            << ", exhausted " << sched.exhausted << ")\n";
+  const std::size_t shown = std::min<std::size_t>(sched.split_log.size(), 8);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const mpc::BatchScheduler::Split& s = sched.split_log[i];
+    std::cout << "  split[" << i << "] chunk @" << s.offset << "+" << s.size
+              << " depth " << s.depth << ": machine " << s.machine
+              << " needed " << s.needed_words << " / " << s.budget_words
+              << " words -> bisect\n";
+  }
+  if (sched.split_log.size() > shown) {
+    std::cout << "  ... " << (sched.split_log.size() - shown)
+              << " more splits\n";
+  }
+  std::cout << "\nfinal communication ledger:\n"
+            << cluster.comm_ledger().report();
   return 0;
 }

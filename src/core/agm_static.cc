@@ -8,18 +8,21 @@
 
 namespace streammpc {
 
-AgmStaticConnectivity::AgmStaticConnectivity(VertexId n,
-                                             const GraphSketchConfig& sketch,
-                                             mpc::Cluster* cluster,
-                                             mpc::ExecMode mode)
+AgmStaticConnectivity::AgmStaticConnectivity(
+    VertexId n, const GraphSketchConfig& sketch, mpc::Cluster* cluster,
+    mpc::ExecMode mode, const mpc::SchedulerConfig& scheduler)
     : n_(n), cluster_(cluster), exec_mode_(mode), sketches_(n, sketch) {
-  if (cluster_ != nullptr && exec_mode_ == mpc::ExecMode::kSimulated)
+  if (cluster_ != nullptr && exec_mode_ == mpc::ExecMode::kSimulated) {
     simulator_ = std::make_unique<mpc::Simulator>(*cluster_);
+    scheduler_ =
+        std::make_unique<mpc::BatchScheduler>(*cluster_, *simulator_, scheduler);
+  }
 }
 
 void AgmStaticConnectivity::ingest_deltas() {
   routed_ingest(cluster_, n_, delta_scratch_, "agm/sketch-update", sketches_,
-                routed_scratch_, exec_mode_, simulator_.get());
+                routed_scratch_, exec_mode_, simulator_.get(),
+                scheduler_.get());
 }
 
 void AgmStaticConnectivity::apply(const Update& update) {

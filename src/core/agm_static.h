@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "mpc/batch_scheduler.h"
 #include "mpc/cluster.h"
 #include "mpc/simulator.h"
 #include "sketch/graphsketch.h"
@@ -28,10 +29,12 @@ class AgmStaticConnectivity {
  public:
   // `mode` selects how update batches execute against the cluster (flat /
   // routed-with-accounting / per-machine simulation); ignored when
-  // `cluster` is null.
+  // `cluster` is null.  `scheduler` opts the simulated mode into adaptive
+  // batch bisection (see mpc::BatchScheduler).
   AgmStaticConnectivity(VertexId n, const GraphSketchConfig& sketch,
                         mpc::Cluster* cluster = nullptr,
-                        mpc::ExecMode mode = mpc::ExecMode::kRouted);
+                        mpc::ExecMode mode = mpc::ExecMode::kRouted,
+                        const mpc::SchedulerConfig& scheduler = {});
 
   VertexId n() const { return n_; }
 
@@ -57,6 +60,8 @@ class AgmStaticConnectivity {
   const VertexSketches& sketches() const { return sketches_; }
   // Non-null iff constructed with kSimulated mode and a cluster.
   const mpc::Simulator* simulator() const { return simulator_.get(); }
+  // Non-null under the same condition (see BatchScheduler::enabled()).
+  const mpc::BatchScheduler* scheduler() const { return scheduler_.get(); }
 
  private:
   // Routes delta_scratch_ through the cluster when one is attached.
@@ -65,7 +70,8 @@ class AgmStaticConnectivity {
   VertexId n_;
   mpc::Cluster* cluster_;
   mpc::ExecMode exec_mode_;
-  std::unique_ptr<mpc::Simulator> simulator_;  // kSimulated mode only
+  std::unique_ptr<mpc::Simulator> simulator_;       // kSimulated mode only
+  std::unique_ptr<mpc::BatchScheduler> scheduler_;  // kSimulated mode only
   VertexSketches sketches_;
   std::vector<EdgeDelta> delta_scratch_;  // reused batch-ingest buffer
   mpc::RoutedBatch routed_scratch_;       // reused per-machine sub-batches

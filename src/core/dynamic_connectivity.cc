@@ -42,8 +42,12 @@ DynamicConnectivity::DynamicConnectivity(VertexId n,
       sketches_(n, config.sketch),
       forest_(n, cluster),
       labels_(n) {
-  if (cluster_ != nullptr && config_.exec_mode == mpc::ExecMode::kSimulated)
-    simulator_ = std::make_unique<mpc::Simulator>(*cluster_);
+  if (cluster_ != nullptr && config_.exec_mode == mpc::ExecMode::kSimulated) {
+    simulator_ = std::make_unique<mpc::Simulator>(
+        *cluster_, config_.simulator_scratch_words);
+    scheduler_ = std::make_unique<mpc::BatchScheduler>(*cluster_, *simulator_,
+                                                       config_.scheduler);
+  }
   for (VertexId v = 0; v < n; ++v) labels_[v] = v;
   publish_usage();
 }
@@ -66,10 +70,12 @@ void DynamicConnectivity::apply_batch(const Batch& batch) {
 void DynamicConnectivity::ingest_deltas(const std::string& label) {
   // Route the batch to the machines hosting the affected endpoint sketches
   // (§6.1) and charge the actual per-machine delta loads — not a flat
-  // broadcast — on the cluster's CommLedger.  In kSimulated mode the
-  // machines additionally step one at a time under their scratch budgets.
+  // broadcast — on the cluster's CommLedger.  In kSimulated mode each
+  // machine's resident shard + delivered sub-batch is budgeted against s,
+  // with the batch scheduler bisecting over-budget batches when enabled.
   routed_ingest(cluster_, n_, delta_scratch_, label, sketches_,
-                routed_scratch_, config_.exec_mode, simulator_.get());
+                routed_scratch_, config_.exec_mode, simulator_.get(),
+                scheduler_.get());
 }
 
 void DynamicConnectivity::apply_inserts(const std::vector<Update>& ins) {

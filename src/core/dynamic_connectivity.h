@@ -38,6 +38,7 @@
 
 #include "euler/tour_forest.h"
 #include "graph/types.h"
+#include "mpc/batch_scheduler.h"
 #include "mpc/cluster.h"
 #include "mpc/simulator.h"
 #include "sketch/graphsketch.h"
@@ -51,6 +52,16 @@ struct ConnectivityConfig {
   // under per-machine scratch budgets (see mpc::ExecMode / mpc::Simulator).
   // Ignored when no cluster is attached.
   mpc::ExecMode exec_mode = mpc::ExecMode::kRouted;
+  // Adaptive batch scheduling (kSimulated mode only): when the split
+  // policy is active, over-budget update batches are deterministically
+  // bisected and retried instead of throwing MemoryBudgetExceeded (see
+  // mpc::BatchScheduler; default kAuto = the SMPC_SCHED env switch).
+  mpc::SchedulerConfig scheduler;
+  // Per-machine scratch budget for the simulated executor, in words
+  // (0 = the cluster's local memory s) — the Simulator ctor's
+  // scratch_words knob, exposed so a front end can run a tighter memory
+  // discipline than s without shrinking the cluster itself.
+  std::uint64_t simulator_scratch_words = 0;
   // Stop the Boruvka replacement search after this many consecutive
   // levels in which no group recovered any edge (robustness against
   // individual sampler failures; 1 = the paper's bare loop).
@@ -103,6 +114,9 @@ class DynamicConnectivity {
   const VertexSketches& sketches() const { return sketches_; }
   // Non-null iff exec_mode == kSimulated and a cluster is attached.
   const mpc::Simulator* simulator() const { return simulator_.get(); }
+  // Non-null under the same condition; splits only when its resolved
+  // policy is active (scheduler()->enabled()).
+  const mpc::BatchScheduler* scheduler() const { return scheduler_.get(); }
 
   struct Stats {
     std::uint64_t batches = 0;
@@ -133,7 +147,8 @@ class DynamicConnectivity {
   VertexId n_;
   ConnectivityConfig config_;
   mpc::Cluster* cluster_;
-  std::unique_ptr<mpc::Simulator> simulator_;  // kSimulated mode only
+  std::unique_ptr<mpc::Simulator> simulator_;        // kSimulated mode only
+  std::unique_ptr<mpc::BatchScheduler> scheduler_;   // kSimulated mode only
   VertexSketches sketches_;
   EulerTourForest forest_;
   std::vector<VertexId> labels_;

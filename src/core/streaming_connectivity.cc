@@ -7,10 +7,9 @@
 
 namespace streammpc {
 
-StreamingConnectivity::StreamingConnectivity(VertexId n,
-                                             GraphSketchConfig sketch,
-                                             mpc::Cluster* cluster,
-                                             mpc::ExecMode mode)
+StreamingConnectivity::StreamingConnectivity(
+    VertexId n, GraphSketchConfig sketch, mpc::Cluster* cluster,
+    mpc::ExecMode mode, const mpc::SchedulerConfig& scheduler)
     : n_(n),
       cluster_(cluster),
       exec_mode_(mode),
@@ -18,14 +17,18 @@ StreamingConnectivity::StreamingConnectivity(VertexId n,
       forest_adj_(n),
       labels_(n),
       components_(n) {
-  if (cluster_ != nullptr && exec_mode_ == mpc::ExecMode::kSimulated)
+  if (cluster_ != nullptr && exec_mode_ == mpc::ExecMode::kSimulated) {
     simulator_ = std::make_unique<mpc::Simulator>(*cluster_);
+    scheduler_ =
+        std::make_unique<mpc::BatchScheduler>(*cluster_, *simulator_, scheduler);
+  }
   for (VertexId v = 0; v < n; ++v) labels_[v] = v;
 }
 
 void StreamingConnectivity::ingest(std::span<const EdgeDelta> deltas) {
   routed_ingest(cluster_, n_, deltas, "streaming/sketch-update", sketches_,
-                routed_scratch_, exec_mode_, simulator_.get());
+                routed_scratch_, exec_mode_, simulator_.get(),
+                scheduler_.get());
 }
 
 void StreamingConnectivity::apply(const Update& update) {

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "mpc/batch_scheduler.h"
 #include "mpc/cluster.h"
 #include "mpc/simulator.h"
 #include "sketch/graphsketch.h"
@@ -48,9 +49,12 @@ class StreamingConnectivity {
   // sketch state, so results are identical either way.  `mode` selects how
   // buffered delta flushes execute against the cluster (flat / routed /
   // machine-by-machine simulation); ignored when `cluster` is null.
+  // `scheduler` opts the simulated mode into adaptive batch bisection
+  // (see mpc::BatchScheduler).
   explicit StreamingConnectivity(VertexId n, GraphSketchConfig sketch = {},
                                  mpc::Cluster* cluster = nullptr,
-                                 mpc::ExecMode mode = mpc::ExecMode::kRouted);
+                                 mpc::ExecMode mode = mpc::ExecMode::kRouted,
+                                 const mpc::SchedulerConfig& scheduler = {});
 
   VertexId n() const { return n_; }
 
@@ -94,6 +98,8 @@ class StreamingConnectivity {
 
   // Non-null iff constructed with kSimulated mode and a cluster.
   const mpc::Simulator* simulator() const { return simulator_.get(); }
+  // Non-null under the same condition (see BatchScheduler::enabled()).
+  const mpc::BatchScheduler* scheduler() const { return scheduler_.get(); }
 
  private:
   // Collects the vertices of u's tree in F via BFS (the Z_u of §4.2).
@@ -110,7 +116,8 @@ class StreamingConnectivity {
   VertexId n_;
   mpc::Cluster* cluster_;
   mpc::ExecMode exec_mode_;
-  std::unique_ptr<mpc::Simulator> simulator_;  // kSimulated mode only
+  std::unique_ptr<mpc::Simulator> simulator_;       // kSimulated mode only
+  std::unique_ptr<mpc::BatchScheduler> scheduler_;  // kSimulated mode only
   mpc::RoutedBatch routed_scratch_;
   VertexSketches sketches_;
   std::vector<std::set<VertexId>> forest_adj_;

@@ -38,6 +38,13 @@ struct DynamicMatchingConfig {
   // the communication the ledger charges).  All modes leave identical
   // sparsifier state (samplers are linear) and hence identical matchings.
   // Ignored when no cluster is attached.
+  //
+  // Note: the adaptive batch scheduler (mpc::BatchScheduler) does not
+  // apply here — it probes the *vertex-sketch* resident shards, and the
+  // matching path executes through the Simulator's sketch-free MachineStep
+  // overload (resident = 0, so delivered loads alone bound the batch; an
+  // over-budget sub-batch surfaces as MemoryBudgetExceeded exactly as
+  // before).  Extending the probe to sparsifier shards is a ROADMAP item.
   mpc::ExecMode exec_mode = mpc::ExecMode::kRouted;
 };
 

@@ -1,0 +1,104 @@
+#include "mpc/batch_scheduler.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+#include "sketch/graphsketch.h"
+
+namespace streammpc::mpc {
+
+namespace {
+
+SplitPolicy resolve_policy(SplitPolicy configured) {
+  if (configured != SplitPolicy::kAuto) return configured;
+  if (const char* env = std::getenv("SMPC_SCHED")) {
+    if (std::strcmp(env, "bisect") == 0) return SplitPolicy::kBisect;
+  }
+  return SplitPolicy::kNone;
+}
+
+}  // namespace
+
+BatchScheduler::BatchScheduler(Cluster& cluster, Simulator& simulator,
+                               const SchedulerConfig& config)
+    : cluster_(cluster),
+      simulator_(simulator),
+      config_(config),
+      policy_(resolve_policy(config.policy)) {
+  SMPC_CHECK(config_.min_chunk >= 1);
+}
+
+void BatchScheduler::execute(std::span<const EdgeDelta> deltas,
+                             std::uint64_t universe, const std::string& label,
+                             VertexSketches& sketches) {
+  if (deltas.empty()) return;
+  ++stats_.batches;
+  execute_chunk(deltas, universe, label, sketches, /*offset=*/0, /*depth=*/0);
+}
+
+void BatchScheduler::execute_chunk(std::span<const EdgeDelta> deltas,
+                                   std::uint64_t universe,
+                                   const std::string& label,
+                                   VertexSketches& sketches,
+                                   std::uint64_t offset, std::uint32_t depth) {
+  cluster_.route_batch(deltas, universe, routed_);
+  if (policy_ == SplitPolicy::kBisect) {
+    const Simulator::BudgetProbe report = simulator_.probe(routed_, sketches);
+    if (!report.fits) {
+      // Splitting shrinks only the *delivered* half of the claim; the
+      // resident shard rides along into every leaf, and any leaf that
+      // still carries one of the machine's deltas delivers at least
+      // kWordsPerDelta to it.  So an overflow is fixable by re-splitting
+      // only when resident + one delta fits — otherwise bisection would
+      // charge a cascade of control and delivery rounds and every leaf
+      // would overflow anyway (the geometry, not the batch size, is the
+      // problem: grow the machine count or phi).
+      const bool fixable = report.resident_words +
+                               RoutedBatch::kWordsPerDelta <=
+                           report.budget_words;
+      if (fixable && deltas.size() > config_.min_chunk &&
+          depth < config_.max_depth) {
+        // One control round per split: the over-budget machines report
+        // their geometry up the broadcast tree and the re-split schedule
+        // comes back down.  Charged BEFORE the halves deliver, so the
+        // ledger reads in causal order: detect, re-split, retry.
+        const std::uint64_t control =
+            std::max<std::uint64_t>(1, cluster_.broadcast_rounds());
+        cluster_.add_rounds(control, label + "/scheduler-split");
+        stats_.split_rounds += control;
+        ++stats_.splits;
+        stats_.max_depth =
+            std::max<std::uint64_t>(stats_.max_depth, depth + 1);
+        simulator_.note_scheduler_split();
+        if (stats_.split_log.size() < Stats::kMaxSplitRecords) {
+          stats_.split_log.push_back(Split{offset, deltas.size(), depth,
+                                           report.machine,
+                                           report.needed_words,
+                                           report.budget_words});
+        }
+        // Deterministic bisection at floor(size / 2).  The left half runs
+        // to completion (its pages allocate, growing the resident shards)
+        // before the right half is routed and probed — the probe therefore
+        // sees the true resident state each retry would see on a real
+        // cluster.
+        const std::size_t mid = deltas.size() / 2;
+        execute_chunk(deltas.first(mid), universe, label, sketches, offset,
+                      depth + 1);
+        execute_chunk(deltas.subspan(mid), universe, label, sketches,
+                      offset + mid, depth + 1);
+        return;
+      }
+      // Exhausted — unfixable overflow, min_chunk, or max_depth: execute
+      // regardless, without charging any split round.  Strict clusters
+      // throw from the executor's preflight (before any charge, keeping
+      // the reject-before-charge contract), non-strict record the overrun.
+      ++stats_.exhausted;
+    }
+  }
+  ++stats_.subbatches;
+  simulator_.execute(routed_, label, sketches);
+}
+
+}  // namespace streammpc::mpc

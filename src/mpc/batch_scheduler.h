@@ -1,0 +1,147 @@
+// Resident-aware adaptive batch scheduler — the closed control loop over
+// the Simulator's memory-budget diagnostics.
+//
+// PR 4 made the model's binding constraint *observable*: before every
+// delivery the Simulator folds each machine's resident sketch shard,
+// charges resident + delivered against local memory s, and rejects (strict)
+// or records (non-strict) the overflow.  The sweep (bench_mpc_sweep) shows
+// resident headroom dip below 1 at small phi / few machines — exactly the
+// regime where the batch-dynamic MPC line (Nowicki–Onak, arXiv:2002.07800)
+// says the *front end* must adapt: batches are sized so the per-machine
+// claim stays under s, not fixed a priori.  This class closes the loop:
+//
+//   route the chunk -> probe (Simulator::probe: would resident + delivered
+//   fit every machine?) -> if not, charge one control round, bisect the
+//   chunk deterministically, recurse on the halves -> execute once it fits.
+//
+// Properties the tests pin down (tests/test_mpc_scheduler.cc):
+//
+//   * Determinism.  The split tree is a pure function of the stream, the
+//     budgets, and the geometry: probes read only deterministic state
+//     (loads from the content-independent partitioner, resident from the
+//     deterministic page allocation), and bisection is always at
+//     floor(size / 2).  Same stream + same budgets => identical split
+//     trees, rounds, and final sketches for every grid thread count and
+//     for strict and non-strict clusters alike (with the default budget,
+//     strict and non-strict probe against the same limit).
+//   * Honest accounting (the round-compression concern, arXiv:1807.08745:
+//     compressing work into fewer rounds must not hide communication).
+//     Every retried half pays its own full delivery round through
+//     Cluster::charge_routed — 2^depth leaves cost 2^depth ledger rounds —
+//     and every split additionally charges a broadcast-tree control round
+//     under "<label>/scheduler-split" (the machines must report the
+//     overflow geometry and receive the re-split schedule).  Nothing is
+//     retroactively un-charged: probes precede charges, so a rejected
+//     attempt costs no phantom round, matching the strict executor's
+//     reject-before-charge contract.
+//   * Equivalence.  Splitting a batch never changes the sketch state
+//     (linearity) — only the accounting.  A run that never overflows is
+//     charge-for-charge identical to the bare Simulator.
+//
+// When splitting cannot help — the offending machine's *resident shard*
+// plus a single unavoidable delta already exceeds the budget (geometry,
+// not batch size, is the problem: the machine count or phi must grow) —
+// or when bisection bottoms out at min_chunk / max_depth, the chunk
+// executes immediately with NO split round charged: a strict cluster then
+// throws MemoryBudgetExceeded from the executor's preflight (before any
+// charge FOR THAT LEAF), and a non-strict cluster records the overrun and
+// proceeds.  The unfixable case is detected up front from
+// BudgetProbe::resident_words so a permanently-over-budget stream costs
+// one probe per batch, never a futile bisection cascade.
+//
+// Atomicity caveat: under kBisect the reject-whole guarantee holds per
+// LEAF DELIVERY, not per top-level execute() call.  Leaves that landed
+// before a later leaf throws stay applied and charged — they were genuine
+// in-budget rounds a real cluster could not unsend either (exactly the
+// round-compression honesty point: retries must not rewrite history).  A
+// strict-mode caller that catches mid-batch MemoryBudgetExceeded must
+// treat the batch as partially applied (the split_log + subbatch counters
+// say precisely how far it got), unlike the bare Simulator whose single
+// delivery is all-or-nothing.  In practice an unfixable leaf is almost
+// always unfixable at the top-level probe too (resident only grows), so
+// the throw usually happens before anything was delivered.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mpc/cluster.h"
+#include "mpc/comm_ledger.h"
+#include "mpc/config.h"
+#include "mpc/simulator.h"
+
+namespace streammpc {
+class VertexSketches;
+}
+
+namespace streammpc::mpc {
+
+class BatchScheduler {
+ public:
+  // One bisection, in deterministic pre-order: the chunk (as an offset +
+  // length into the top-level batch), its depth in the split tree, and the
+  // probe geometry that triggered the split.
+  struct Split {
+    std::uint64_t offset = 0;  // first delta of the chunk, top-level index
+    std::uint64_t size = 0;    // deltas in the chunk
+    std::uint32_t depth = 0;   // 0 = the top-level batch itself
+    std::uint64_t machine = 0;       // lowest over-budget machine
+    std::uint64_t needed_words = 0;  // its resident + delivered claim
+    std::uint64_t budget_words = 0;  // the budget it missed
+
+    friend bool operator==(const Split&, const Split&) = default;
+  };
+
+  struct Stats {
+    std::uint64_t batches = 0;      // top-level batches submitted
+    std::uint64_t subbatches = 0;   // leaf chunks actually executed
+    std::uint64_t splits = 0;       // bisections performed
+    std::uint64_t split_rounds = 0; // control rounds charged for splits
+    std::uint64_t exhausted = 0;    // chunks executed over budget because
+                                    // min_chunk / max_depth stopped splitting
+    std::uint64_t max_depth = 0;    // deepest split level reached
+    // The split tree in deterministic pre-order; capped like the
+    // Simulator's overrun list so a permanently-over-budget stream cannot
+    // grow it without bound (the counters stay exact).
+    static constexpr std::size_t kMaxSplitRecords = 4096;
+    std::vector<Split> split_log;
+  };
+
+  // `config.policy` kAuto resolves against the SMPC_SCHED environment
+  // variable once, here ("bisect" => kBisect, anything else => kNone) —
+  // the same construction-time env pattern as the Simulator's thread knob.
+  BatchScheduler(Cluster& cluster, Simulator& simulator,
+                 const SchedulerConfig& config = {});
+
+  // Whether this scheduler actually splits; with kNone it is a transparent
+  // pass-through to Simulator::execute (and routed_ingest skips it).
+  bool enabled() const { return policy_ == SplitPolicy::kBisect; }
+  SplitPolicy policy() const { return policy_; }
+
+  // Routes `deltas` under the vertex universe [0, universe) and executes
+  // them through the simulator, bisecting on probe overflow as configured.
+  // The final sketch state is identical to a single flat
+  // update_edges(deltas) — splitting changes rounds, never bytes.
+  void execute(std::span<const EdgeDelta> deltas, std::uint64_t universe,
+               const std::string& label, VertexSketches& sketches);
+
+  const Stats& stats() const { return stats_; }
+  const Cluster& cluster() const { return cluster_; }
+  const Simulator& simulator() const { return simulator_; }
+
+ private:
+  void execute_chunk(std::span<const EdgeDelta> deltas, std::uint64_t universe,
+                     const std::string& label, VertexSketches& sketches,
+                     std::uint64_t offset, std::uint32_t depth);
+
+  Cluster& cluster_;
+  Simulator& simulator_;
+  SchedulerConfig config_;
+  SplitPolicy policy_;   // resolved (never kAuto)
+  RoutedBatch routed_;   // per-chunk routing scratch, reused
+  Stats stats_;
+};
+
+}  // namespace streammpc::mpc

@@ -7,6 +7,7 @@
 // pinned explicitly.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace streammpc::mpc {
@@ -26,6 +27,37 @@ namespace streammpc::mpc {
 // All three modes produce byte-identical sketch state (cells are linear
 // and commutative); they differ only in accounting and enforcement.
 enum class ExecMode : std::uint8_t { kFlat, kRouted, kSimulated };
+
+// How the adaptive batch scheduler (mpc::BatchScheduler) reacts when a
+// simulated machine's claim on local memory s — resident sketch shard plus
+// delivered sub-batch — would exceed its budget:
+//   kNone   — never split; over-budget batches throw (strict clusters) or
+//             record overruns (non-strict), exactly the bare Simulator.
+//   kBisect — deterministically halve the offending batch and retry each
+//             half, recursively, charging the extra delivery and control
+//             rounds honestly (the batch-dynamic MPC discipline of
+//             Nowicki–Onak, arXiv:2002.07800: batches are sized so that
+//             resident + delivered stays under s).
+//   kAuto   — resolve from the SMPC_SCHED environment variable at
+//             scheduler construction ("bisect" enables splitting; anything
+//             else, or unset, means kNone).  The CI gate runs the mpc
+//             conformance matrix once with SMPC_SCHED=bisect.
+enum class SplitPolicy : std::uint8_t { kAuto, kNone, kBisect };
+
+// Per-front-end opt-in knobs for the adaptive batch scheduler.  Embedded in
+// the front ends' config structs (e.g. ConnectivityConfig::scheduler);
+// ignored unless the structure executes in ExecMode::kSimulated.
+struct SchedulerConfig {
+  SplitPolicy policy = SplitPolicy::kAuto;
+  // Never bisect a chunk of at most this many deltas; a chunk that still
+  // does not fit at this size executes anyway (throwing under a strict
+  // cluster, recording an overrun otherwise) — at that point the resident
+  // shard alone is the problem and no batch sizing can fix it.
+  std::size_t min_chunk = 1;
+  // Hard cap on the bisection depth (2^depth leaves); a backstop against
+  // pathological geometry, far above any real split tree.
+  unsigned max_depth = 40;
+};
 
 struct MpcConfig {
   // Number of vertices of the maintained graph; drives s = ceil(n^phi).

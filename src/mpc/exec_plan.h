@@ -1,0 +1,84 @@
+// The unified ingest pipeline: every path that mutates the vertex
+// sketches — flat update_edges, routed (cluster-accounted) ingest, and the
+// per-machine simulation executor — lowers to ONE form, an ExecPlan, and
+// executes through the same (machine x bank) cell grid
+// (VertexSketches::begin_routed_cells + ingest_cell).
+//
+// Before this pipeline the repo had three divergent ingest code paths:
+// the PR-1 bank-parallel flat walk, the PR-3 per-machine slice
+// (ingest_machine), and the PR-4 grid.  Only the grid enforced the
+// deterministic page-preparation discipline that makes cells race-free and
+// lets the resident-memory accounting observe every allocation; the paper's
+// simulation theorems assume every phase runs under the same per-machine
+// memory discipline, so the divergence was a fidelity gap as much as a
+// maintenance one.  Now:
+//
+//   * lower_flat(deltas)  — stages the span as a 1-machine grid (machine 0
+//     owns both endpoints of every delta).  Flat ingest IS the grid with
+//     machines = 1: same canonical page-preparation order, same per-bank
+//     apply order as the old flat walk, hence byte-identical sketches.
+//   * lower_routed(batch) — borrows an already-routed CSR (zero copy).
+//     Routed mode inherits the machines x banks parallel schedule and the
+//     prepared-cells race-freedom for free.
+//
+// run() executes the lowered grid: one deterministic canonical-order page
+// preparation pass, then every (machine, bank) cell, fanned across `pool`
+// when one is supplied (serial machine-major otherwise).  Cell sums are
+// commutative into disjoint pre-sized cells, so ANY schedule — any thread
+// count, any machine visit order — leaves the arenas byte-identical
+// (asserted by the conformance matrix in tests/test_mpc_simulation.cc and
+// the thread-invariance suite in tests/test_mpc_grid.cc).
+//
+// The plan performs no accounting: callers charge delivery (Cluster::
+// charge_routed) and budgets (mpc::Simulator) around it.  That split is
+// what lets kFlat share the executor without acquiring a ledger.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mpc/comm_ledger.h"
+
+namespace streammpc {
+class ThreadPool;
+class VertexSketches;
+}  // namespace streammpc
+
+namespace streammpc::mpc {
+
+class ExecPlan {
+ public:
+  // Stages `deltas` as a 1-machine grid: machine 0 receives every delta
+  // and owns both endpoints.  The staged CSR's buffers are reused across
+  // calls; the deltas themselves are copied (the staged batch must outlive
+  // the run, and callers routinely pass transient spans).
+  ExecPlan& lower_flat(std::span<const EdgeDelta> deltas);
+
+  // Borrows `routed` as the grid's CSR — zero copy; `routed` must stay
+  // alive and unmutated until run() returns.
+  ExecPlan& lower_routed(const RoutedBatch& routed);
+
+  bool lowered() const { return view_ != nullptr; }
+  const RoutedBatch& routed() const { return *view_; }
+  std::uint64_t machines() const { return view_->machines(); }
+
+  // Executes the lowered grid against `sketches`: canonical-order page
+  // preparation, then all machines() x sketches.banks() cells.  `pool`
+  // null = serial canonical (machine-major) order.  `order`, when
+  // non-empty, permutes the machine rows (the Simulator's order-invariance
+  // hook; must be a permutation of [0, machines()) — validated by the
+  // caller).  Returns the number of items applied (nonzero delta, at least
+  // one owned endpoint), summed over every cell of the grid — folded in
+  // machine-major order from per-cell scratch slots, so the value is
+  // identical for every schedule (it feeds Simulator::Stats directly).
+  std::uint64_t run(VertexSketches& sketches, ThreadPool* pool,
+                    std::span<const std::uint64_t> order = {});
+
+ private:
+  RoutedBatch staged_;                 // lower_flat's 1-machine CSR
+  const RoutedBatch* view_ = nullptr;  // the grid to execute
+  std::vector<std::uint64_t> cell_scratch_;  // [machine * banks + bank]
+};
+
+}  // namespace streammpc::mpc

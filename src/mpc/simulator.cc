@@ -64,6 +64,16 @@ ThreadPool* Simulator::pool(std::size_t cells) {
   return pool_.get();
 }
 
+std::uint64_t Simulator::effective_budget() const {
+  // Under a strict cluster the machine's local memory s binds too, even
+  // when the scratch override is larger — otherwise charge_routed would
+  // throw CheckError *after* mutating the round/comm/ledger state,
+  // breaking the reject-whole contract.
+  return cluster_.strict()
+             ? std::min(scratch_words_, cluster_.local_capacity_words())
+             : scratch_words_;
+}
+
 void Simulator::preflight(const RoutedBatch& routed, const std::string& label,
                           std::span<const std::uint64_t> resident) {
   const std::uint64_t machines = routed.machines();
@@ -71,12 +81,8 @@ void Simulator::preflight(const RoutedBatch& routed, const std::string& label,
   // delivered sub-batch.  A strict cluster rejects the whole batch before
   // any page has been allocated or any round charged (lowest offending
   // machine id wins, so the diagnostic is deterministic and independent of
-  // the cell schedule).  Under a strict cluster the machine's local memory
-  // s binds too, even when the scratch override is larger — otherwise
-  // charge_routed below would throw CheckError *after* mutating the
-  // round/comm/ledger state, breaking the reject-whole contract.
-  const std::uint64_t strict_limit =
-      std::min(scratch_words_, cluster_.local_capacity_words());
+  // the cell schedule).
+  const std::uint64_t strict_limit = effective_budget();
   for (std::uint64_t m = 0; m < machines; ++m) {
     const std::uint64_t shard = resident.empty() ? 0 : resident[m];
     const std::uint64_t need = shard + routed.load_words[m];
@@ -121,23 +127,10 @@ void Simulator::execute(const RoutedBatch& routed, const std::string& label,
   execute(routed, label, sketches, order_scratch_);
 }
 
-void Simulator::execute(const RoutedBatch& routed, const std::string& label,
-                        VertexSketches& sketches,
-                        std::span<const std::uint64_t> order) {
-  const std::uint64_t machines = routed.machines();
-  SMPC_CHECK_MSG(machines == cluster_.machines(),
-                 "routed batch was built for a different machine count");
-  SMPC_CHECK_MSG(order.size() == machines,
-                 "machine visit order must cover every machine");
-  seen_scratch_.assign(machines, 0);
-  for (const std::uint64_t m : order) {
-    SMPC_CHECK_MSG(m < machines && !seen_scratch_[m],
-                   "machine visit order must be a permutation");
-    seen_scratch_[m] = 1;
-  }
-
+std::span<const std::uint64_t> Simulator::resident_fold(
+    const VertexSketches& sketches, std::uint64_t machines) {
   // Resident fold (pre-mutation): the sketch shard each machine already
-  // hosts, against which this delivery's scratch claim stacks.  Pages are
+  // hosts, against which a delivery's scratch claim stacks.  Pages are
   // never freed, so the fold (an O(n) page-map scan) only needs to re-run
   // when the allocation watermark has grown since the last one — in the
   // saturated steady state every batch pays just the O(banks) watermark
@@ -153,39 +146,60 @@ void Simulator::execute(const RoutedBatch& routed, const std::string& label,
     resident_cache_sketches_ = &sketches;
     resident_cache_words_ = allocated;
   }
-  preflight(routed, label, resident_scratch_);
+  return resident_scratch_;
+}
 
-  // Local computation of the delivered round, as a machines x banks cell
-  // grid.  Page preparation is canonical-order and thread-count-
-  // independent; afterwards the cells share no mutable state, so the
-  // work-stealing schedule below (or the serial order-major loop) cannot
+Simulator::BudgetProbe Simulator::probe(const RoutedBatch& routed,
+                                        const VertexSketches& sketches) {
+  SMPC_CHECK_MSG(routed.machines() == cluster_.machines(),
+                 "routed batch was built for a different machine count");
+  const std::uint64_t machines = routed.machines();
+  const std::span<const std::uint64_t> resident =
+      resident_fold(sketches, machines);
+  BudgetProbe report;
+  report.budget_words = effective_budget();
+  for (std::uint64_t m = 0; m < machines; ++m) {
+    const std::uint64_t need = resident[m] + routed.load_words[m];
+    if (need > report.budget_words) {
+      report.fits = false;
+      report.machine = m;
+      report.needed_words = need;
+      report.resident_words = resident[m];
+      return report;
+    }
+  }
+  return report;
+}
+
+void Simulator::execute(const RoutedBatch& routed, const std::string& label,
+                        VertexSketches& sketches,
+                        std::span<const std::uint64_t> order) {
+  const std::uint64_t machines = routed.machines();
+  SMPC_CHECK_MSG(machines == cluster_.machines(),
+                 "routed batch was built for a different machine count");
+  SMPC_CHECK_MSG(order.size() == machines,
+                 "machine visit order must cover every machine");
+  seen_scratch_.assign(machines, 0);
+  for (const std::uint64_t m : order) {
+    SMPC_CHECK_MSG(m < machines && !seen_scratch_[m],
+                   "machine visit order must be a permutation");
+    seen_scratch_[m] = 1;
+  }
+
+  preflight(routed, label, resident_fold(sketches, machines));
+
+  // Local computation of the delivered round: the shared (machine x bank)
+  // grid pipeline (mpc::ExecPlan — the same lowering flat and routed
+  // update_edges use).  Page preparation is canonical-order and
+  // thread-count-independent; afterwards the cells share no mutable state,
+  // so neither the work-stealing schedule nor the machine visit order can
   // affect the resulting bytes.
   const unsigned banks = sketches.banks();
   const std::size_t cells = static_cast<std::size_t>(machines) * banks;
-  ThreadPool* p = pool(cells);
-  sketches.begin_routed_cells(routed, p);
-  cell_scratch_.assign(cells, 0);
-  const auto run_cell = [&](std::size_t row, std::size_t bank) {
-    const std::uint64_t m = order[row];
-    if (routed.load_words[m] == 0) return;
-    cell_scratch_[m * banks + bank] =
-        sketches.ingest_cell(m, static_cast<unsigned>(bank), routed);
-  };
-  if (p != nullptr) {
-    p->parallel_for_grid(machines, banks, run_cell);
-  } else {
-    for (std::size_t row = 0; row < machines; ++row) {
-      for (unsigned b = 0; b < banks; ++b) run_cell(row, b);
-    }
-  }
-  // Deterministic aggregation: fold the per-cell scratch in machine-major
-  // order, regardless of which thread finished which cell when.
+  stats_.applied_updates +=
+      plan_.lower_routed(routed).run(sketches, pool(cells), order);
   for (std::uint64_t m = 0; m < machines; ++m) {
-    if (routed.load_words[m] == 0) continue;
-    stats_.cell_steps += banks;
-    for (unsigned b = 0; b < banks; ++b) {
-      stats_.applied_updates += cell_scratch_[m * banks + b];
-    }
+    if (routed.load_words[m] != 0) stats_.cell_steps += banks;
   }
 }
 

@@ -45,6 +45,14 @@
 // one synchronous scatter round (Cluster::charge_routed, same as kRouted
 // mode); the grid cells are the local-computation half of that round, so
 // phase_rounds() reflects the same O(1/phi) schedule the theorems bound.
+//
+// The grid itself is no longer this class's private machinery: every
+// ingest path — flat, routed, simulated — lowers to the same mpc::ExecPlan
+// and executes the same begin_routed_cells + ingest_cell pipeline.  The
+// Simulator's added value is purely the model accounting around it
+// (delivery rounds, budget enforcement, resident fidelity, stats), plus
+// probe(), the non-mutating budget pre-check the adaptive batch scheduler
+// (mpc::BatchScheduler) builds its split decisions on.
 #pragma once
 
 #include <cstdint>
@@ -57,6 +65,7 @@
 
 #include "mpc/cluster.h"
 #include "mpc/comm_ledger.h"
+#include "mpc/exec_plan.h"
 
 namespace streammpc {
 
@@ -127,6 +136,11 @@ class Simulator {
     std::uint64_t budget_overruns = 0;
     std::uint64_t worst_overrun_words = 0;  // max(needed - budget) observed
     std::vector<Overrun> overruns;
+    // Batch-scheduler visibility: bisections an attached
+    // mpc::BatchScheduler performed on this simulator's behalf (each split
+    // turns one rejected delivery into two retried ones; the extra
+    // delivery rounds appear in `batches` and on the CommLedger).
+    std::uint64_t scheduler_splits = 0;
   };
 
   // `scratch_words` bounds each simulated machine's claim for one step
@@ -175,6 +189,27 @@ class Simulator {
   void execute(const RoutedBatch& routed, const std::string& label,
                const MachineStep& step);
 
+  // Non-mutating budget pre-check: would execute(routed, ., sketches) fit
+  // every machine's claim (resident shard + delivered sub-batch) under the
+  // effective budget?  Reports the lowest offending machine (the same one
+  // a strict execute would throw for) without charging a round, recording
+  // an overrun, or touching the sketches.  This is the mpc::BatchScheduler
+  // decision input: probe, split while it reports an overflow, execute
+  // once it fits — identical behavior for strict and non-strict clusters.
+  struct BudgetProbe {
+    bool fits = true;
+    std::uint64_t machine = 0;
+    std::uint64_t needed_words = 0;    // resident + delivered
+    std::uint64_t resident_words = 0;  // resident component
+    std::uint64_t budget_words = 0;    // effective per-machine budget
+  };
+  BudgetProbe probe(const RoutedBatch& routed, const VertexSketches& sketches);
+
+  // Records one batch-scheduler bisection in stats() (called by
+  // mpc::BatchScheduler; the matching control-round charge lands on the
+  // cluster under "<label>/scheduler-split").
+  void note_scheduler_split() { ++stats_.scheduler_splits; }
+
   std::uint64_t scratch_words() const { return scratch_words_; }
   unsigned grid_threads() const { return grid_threads_; }
   const Cluster& cluster() const { return cluster_; }
@@ -187,6 +222,13 @@ class Simulator {
   // serial half of Stats.  Returns normally iff the batch may execute.
   void preflight(const RoutedBatch& routed, const std::string& label,
                  std::span<const std::uint64_t> resident);
+  // Folds (with memoization) each machine's resident sketch-shard words
+  // into resident_scratch_ and returns it.
+  std::span<const std::uint64_t> resident_fold(const VertexSketches& sketches,
+                                               std::uint64_t machines);
+  // Effective per-machine budget: strict clusters are additionally bound
+  // by local memory s (see the ctor comment).
+  std::uint64_t effective_budget() const;
   ThreadPool* pool(std::size_t cells);
 
   Cluster& cluster_;
@@ -197,7 +239,7 @@ class Simulator {
   std::vector<std::uint64_t> order_scratch_;     // ascending ids, reused
   std::vector<char> seen_scratch_;               // permutation check, reused
   std::vector<std::uint64_t> resident_scratch_;  // [machine], reused
-  std::vector<std::uint64_t> cell_scratch_;  // [machine * banks + bank], reused
+  ExecPlan plan_;  // the shared grid executor, buffers reused
   // Resident-fold memo: pages are never freed, so the per-machine resident
   // distribution changes only when the allocation watermark grows — the
   // O(n)-scan fold is re-run only then (O(banks * stores) to check).

@@ -65,6 +65,11 @@ class ApproxMsf {
   const mpc::Simulator* simulator() const {
     return levels_.back()->simulator();
   }
+  // Adaptive batch scheduling rides the same nesting:
+  // config.connectivity.scheduler opts every level in.
+  const mpc::BatchScheduler* scheduler() const {
+    return levels_.back()->scheduler();
+  }
 
   std::uint64_t memory_words() const;
 

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/random.h"
+#include "mpc/batch_scheduler.h"
 #include "mpc/cluster.h"
 #include "mpc/simulator.h"
 
@@ -12,7 +13,7 @@ namespace streammpc {
 
 namespace {
 // Below this batch size the per-dispatch cost of waking the pool exceeds
-// the bank-parallel win; single updates always take the serial path.
+// the cell-parallel win; single updates always take the serial path.
 constexpr std::size_t kParallelBatchMin = 4;
 
 unsigned resolve_threads(unsigned configured, unsigned banks) {
@@ -22,18 +23,6 @@ unsigned resolve_threads(unsigned configured, unsigned banks) {
   }
   return std::min(configured, banks);
 }
-
-// Normal form both update_edges overloads reduce to: one signed update with
-// the endpoint-ownership mask of the receiving machine (the flat path owns
-// both endpoints).
-struct IngestItem {
-  Edge e;
-  std::int64_t delta;
-  std::uint8_t endpoints;
-};
-
-constexpr std::uint8_t kBothEndpoints =
-    mpc::RoutedBatch::kEndpointU | mpc::RoutedBatch::kEndpointV;
 }  // namespace
 
 VertexSketches::VertexSketches(VertexId n, const GraphSketchConfig& config)
@@ -61,75 +50,23 @@ void VertexSketches::update_edge(Edge e, std::int64_t delta) {
   update_edges(std::span<const EdgeDelta>(&one, 1));
 }
 
-template <typename ItemAt>
-void VertexSketches::ingest_items(std::size_t count, const ItemAt& item_at) {
-  if (count == 0) return;
-  // Any other ingest invalidates a prepared cell grid.
-  cells_ready_batch_ = nullptr;
-  cells_ready_items_ = kCellsNotReady;
-  // Encode coordinates once for all banks (and validate up front, so a bad
-  // edge throws before any bank has been mutated).
-  coord_scratch_.resize(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    const Edge e = item_at(i).e;
-    SMPC_CHECK(e.u < e.v && e.v < n_);
-    coord_scratch_[i] = codec_.encode(e);
-  }
-  const auto ingest_bank = [&](std::size_t b) {
-    BankArena& arena = arenas_[b];
-    const L0Params& params = params_[b];
-    CoordPlan& plan = arena.plan_scratch();
-    for (std::size_t i = 0; i < count; ++i) {
-      const IngestItem item = item_at(i);
-      if (item.delta == 0 || item.endpoints == 0) continue;
-      if (i + 1 < count) arena.prefetch(item_at(i + 1).e);
-      const Coord c = coord_scratch_[i];
-      params.plan_coord(c, item.delta, plan);
-      // Paper's sign convention: +delta at the max endpoint, -delta at the
-      // min endpoint; both share the plan computed above.  A routed item
-      // applies only the endpoint(s) the receiving machine owns — the
-      // commutative cell sums make the union equal to flat ingest.
-      if (item.endpoints & mpc::RoutedBatch::kEndpointV)
-        arena.apply(item.e.v, c, item.delta, plan, /*negated=*/false);
-      if (item.endpoints & mpc::RoutedBatch::kEndpointU)
-        arena.apply(item.e.u, c, -item.delta, plan, /*negated=*/true);
-    }
-  };
-  ThreadPool* p = count >= kParallelBatchMin ? pool() : nullptr;
-  if (p != nullptr) {
-    p->parallel_for(banks(), ingest_bank);
-  } else {
-    for (unsigned b = 0; b < banks(); ++b) {
-      // Cross-bank lookahead: the next bank's page-map entries load while
-      // this bank hashes (the only lookahead available for tiny batches).
-      if (b + 1 < banks()) arenas_[b + 1].prefetch(item_at(0).e);
-      ingest_bank(b);
-    }
-  }
+void VertexSketches::run_plan(std::size_t items) {
+  exec_plan_.run(*this, items >= kParallelBatchMin ? pool() : nullptr);
 }
 
 void VertexSketches::update_edges(std::span<const EdgeDelta> batch) {
-  ingest_items(batch.size(), [&](std::size_t i) {
-    return IngestItem{batch[i].e, batch[i].delta, kBothEndpoints};
-  });
+  if (batch.empty()) return;
+  // Flat ingest IS the grid: one machine owning both endpoints of every
+  // delta.  Same canonical preparation order and per-bank apply order as
+  // every other path, hence byte-identical for any chunking.
+  exec_plan_.lower_flat(batch);
+  run_plan(batch.size());
 }
 
 void VertexSketches::update_edges(const mpc::RoutedBatch& routed) {
-  ingest_items(routed.items.size(), [&](std::size_t i) {
-    const mpc::RoutedBatch::Item& item = routed.items[i];
-    return IngestItem{item.delta.e, item.delta.delta, item.endpoints};
-  });
-}
-
-void VertexSketches::ingest_machine(std::uint64_t machine,
-                                    const mpc::RoutedBatch& routed) {
-  SMPC_CHECK(machine < routed.machines());
-  const std::span<const mpc::RoutedBatch::Item> items =
-      routed.machine_items(machine);
-  ingest_items(items.size(), [&](std::size_t i) {
-    return IngestItem{items[i].delta.e, items[i].delta.delta,
-                      items[i].endpoints};
-  });
+  if (routed.items.empty()) return;
+  exec_plan_.lower_routed(routed);
+  run_plan(routed.items.size());
 }
 
 void VertexSketches::begin_routed_cells(const mpc::RoutedBatch& routed,
@@ -278,7 +215,8 @@ std::uint64_t VertexSketches::nominal_words_per_vertex() const {
 void routed_ingest(mpc::Cluster* cluster, VertexId universe,
                    std::span<const EdgeDelta> deltas, const std::string& label,
                    VertexSketches& sketches, mpc::RoutedBatch& routed,
-                   mpc::ExecMode mode, mpc::Simulator* simulator) {
+                   mpc::ExecMode mode, mpc::Simulator* simulator,
+                   mpc::BatchScheduler* scheduler) {
   // An empty batch delivers nothing — charging a round for it would skew
   // the per-structure round accounting (front ends reach here with empty
   // delta lists on e.g. all-cancelling batches).
@@ -287,10 +225,18 @@ void routed_ingest(mpc::Cluster* cluster, VertexId universe,
     sketches.update_edges(deltas);
     return;
   }
-  cluster->route_batch(deltas, universe, routed);
   if (mode == mpc::ExecMode::kSimulated) {
     SMPC_CHECK_MSG(simulator != nullptr,
                    "simulated execution mode requires a Simulator");
+    if (scheduler != nullptr && scheduler->enabled()) {
+      // The adaptive control loop: route, probe resident + delivered
+      // against the budget, bisect-and-retry on overflow.
+      scheduler->execute(deltas, universe, label, sketches);
+      return;
+    }
+  }
+  cluster->route_batch(deltas, universe, routed);
+  if (mode == mpc::ExecMode::kSimulated) {
     simulator->execute(routed, label, sketches);
   } else {
     cluster->charge_routed(routed, label);

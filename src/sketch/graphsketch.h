@@ -15,10 +15,13 @@
 // Storage and ingest (this repo's performance layer, see DESIGN.md):
 //   * each bank's cells live in a flat SoA arena (sketch/arena.h) instead
 //     of nested per-vertex vectors;
-//   * update_edges() ingests a whole batch, planning each coordinate's
-//     hashes and fingerprint terms once per bank and applying them to both
-//     endpoints, with banks fanned out across a thread pool — banks share
-//     no state, so any thread count gives bit-identical sketches;
+//   * ALL ingest lowers to one pipeline (mpc::ExecPlan): the batch —
+//     flat span or routed CSR — becomes a (machines x banks) cell grid,
+//     executed as a deterministic canonical-order page-preparation pass
+//     (begin_routed_cells) followed by race-free per-cell application
+//     (ingest_cell).  A flat batch is simply the 1-machine grid.  Cells
+//     share no mutable state after preparation, so any thread count and
+//     any schedule gives bit-identical sketches;
 //   * merged()/sample_boundary() take an optional scratch sampler so
 //     delete-time cut queries stop allocating per call.
 #pragma once
@@ -35,6 +38,7 @@
 #include "common/thread_pool.h"
 #include "mpc/comm_ledger.h"
 #include "mpc/config.h"
+#include "mpc/exec_plan.h"
 #include "sketch/arena.h"
 #include "sketch/coord.h"
 #include "sketch/l0sampler.h"
@@ -42,6 +46,7 @@
 namespace streammpc {
 
 namespace mpc {
+class BatchScheduler;
 class Cluster;
 class Simulator;
 }
@@ -68,36 +73,35 @@ class VertexSketches {
   void update_edge(Edge e, std::int64_t delta);
 
   // Batched ingest: applies every delta to both endpoints in every bank.
-  // Equivalent to calling update_edge per element (linearity), but plans
-  // each coordinate once per bank and runs banks in parallel.
+  // Equivalent to calling update_edge per element (linearity).  Lowers to
+  // the 1-machine cell grid (mpc::ExecPlan::lower_flat) — the same
+  // pipeline every other ingest path executes — with the banks fanned
+  // across the ingest pool.
   //
   // Preconditions: every edge normalized (u < v) and v < n(); a bad edge
   // throws before any bank is mutated.  Not thread-safe against concurrent
-  // calls or queries on the same object (internally bank-parallel; banks
-  // share no state).  Deterministic: for a fixed seed the resulting sketch
-  // state is byte-identical for any thread count and any batch chunking.
+  // calls or queries on the same object (internally cell-parallel; cells
+  // share no state after preparation).  Deterministic: for a fixed seed
+  // the resulting sketch state is byte-identical for any thread count and
+  // any batch chunking.
   void update_edges(std::span<const EdgeDelta> batch);
 
   // Routed ingest (MPC-cluster-aware batching): consumes the per-machine
   // sub-batches produced by mpc::Cluster::route_batch, applying each routed
-  // delta only to the endpoint(s) the receiving machine owns.  Because the
-  // cells are linear and commutative, the final sketch state is
-  // byte-identical to flat update_edges() over the original batch, for any
-  // machine count — routing changes the accounting, never the sketches.
-  // Same preconditions, thread-safety, and determinism as the flat overload.
+  // delta only to the endpoint(s) the receiving machine owns.  Lowers to
+  // the machines x banks cell grid (mpc::ExecPlan::lower_routed), so
+  // routed mode runs under the same parallel schedule and page-preparation
+  // discipline as the simulated executor.  Because the cells are linear
+  // and commutative, the final sketch state is byte-identical to flat
+  // update_edges() over the original batch, for any machine count —
+  // routing changes the accounting, never the sketches.  Same
+  // preconditions, thread-safety, and determinism as the flat overload.
   void update_edges(const mpc::RoutedBatch& routed);
 
-  // Slice of the routed overload: ingests ONLY machine `machine`'s CSR
-  // sub-batch — the unit of work one simulated machine performs in one
-  // step (mpc::Simulator).  Calling this once per machine, in any order,
-  // is byte-identical to update_edges(routed), which is in turn identical
-  // to flat ingest of the original batch.  Same preconditions,
-  // thread-safety, and determinism as the other overloads.
-  void ingest_machine(std::uint64_t machine, const mpc::RoutedBatch& routed);
-
-  // --- (machine, bank) cell ingest: the Simulator's 2-D work grid -----------
-  // ingest_machine sliced once more, along the bank axis.  Within a bank,
-  // two machines' cells touch disjoint vertices (the router sends each
+  // --- (machine, bank) cell ingest: THE execution grid ----------------------
+  // The primitive every ingest path lowers to (via mpc::ExecPlan): one
+  // machine's CSR sub-batch applied to one bank.  Within a bank, two
+  // machines' cells touch disjoint vertices (the router sends each
   // endpoint's delta only to the machine hosting it, and machines host
   // disjoint vertex blocks), so after a deterministic preparation pass the
   // grid's cells can run concurrently in ANY schedule and still leave the
@@ -178,12 +182,9 @@ class VertexSketches {
 
  private:
   ThreadPool* pool();
-  // Shared core of both update_edges overloads: ingests `count` items,
-  // where item_at(i) yields (edge, delta, endpoint-ownership mask) — the
-  // flat path is the both-endpoints special case.  Instantiated only in
-  // graphsketch.cc.
-  template <typename ItemAt>
-  void ingest_items(std::size_t count, const ItemAt& item_at);
+  // Shared tail of both update_edges overloads: runs the lowered plan with
+  // the ingest pool (serial below the parallel-dispatch threshold).
+  void run_plan(std::size_t items);
 
   VertexId n_;
   EdgeCoordCodec codec_;
@@ -204,6 +205,7 @@ class VertexSketches {
   static constexpr std::size_t kCellsNotReady = ~std::size_t{0};
   const mpc::RoutedBatch* cells_ready_batch_ = nullptr;
   std::size_t cells_ready_items_ = kCellsNotReady;
+  mpc::ExecPlan exec_plan_;  // the update_edges lowering, buffers reused
 };
 
 // Deterministic CSR grouping for sample_boundaries(): assigns items
@@ -258,15 +260,22 @@ class GroupCsr {
 };
 
 // The shared front-end ingest step of every tier-1 structure, dispatching
-// on the execution mode (see mpc::ExecMode):
-//   kFlat      — one flat update_edges pass, no routing or accounting;
+// on the execution mode (see mpc::ExecMode).  Every mode executes the same
+// (machine x bank) cell grid (mpc::ExecPlan); they differ only in routing,
+// accounting, and enforcement:
+//   kFlat      — lower the span as a 1-machine grid; no routing or
+//                accounting;
 //   kRouted    — route `deltas` through `cluster` under the vertex
 //                universe [0, universe) (scratch-reusing `routed`), charge
 //                the per-machine loads on the cluster's CommLedger under
-//                `label`, then ingest the sub-batches in one pass;
+//                `label`, then run the machines x banks grid;
 //   kSimulated — route, then hand the RoutedBatch to `simulator` (must be
-//                non-null), which charges the delivery and steps the
-//                machines one at a time under their scratch budgets.
+//                non-null), which budgets each machine's resident shard +
+//                delivered sub-batch against s before running the grid.
+//                When a non-null `scheduler` with an active split policy is
+//                supplied, it owns the whole route-probe-execute loop:
+//                over-budget batches are deterministically bisected and
+//                retried instead of failing (see mpc::BatchScheduler).
 // With a null cluster every mode degrades to plain flat ingest.  All modes
 // leave identical sketch state.  An empty batch is a no-op (no round
 // charged).
@@ -274,6 +283,7 @@ void routed_ingest(mpc::Cluster* cluster, VertexId universe,
                    std::span<const EdgeDelta> deltas, const std::string& label,
                    VertexSketches& sketches, mpc::RoutedBatch& routed,
                    mpc::ExecMode mode = mpc::ExecMode::kRouted,
-                   mpc::Simulator* simulator = nullptr);
+                   mpc::Simulator* simulator = nullptr,
+                   mpc::BatchScheduler* scheduler = nullptr);
 
 }  // namespace streammpc
