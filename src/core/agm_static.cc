@@ -10,10 +10,13 @@ namespace streammpc {
 
 AgmStaticConnectivity::AgmStaticConnectivity(
     VertexId n, const GraphSketchConfig& sketch, mpc::Cluster* cluster,
-    mpc::ExecMode mode, const mpc::SchedulerConfig& scheduler)
+    mpc::ExecMode mode, const mpc::SchedulerConfig& scheduler,
+    mpc::FaultInjector* fault_injector)
     : n_(n), cluster_(cluster), exec_mode_(mode), sketches_(n, sketch) {
   if (cluster_ != nullptr && exec_mode_ == mpc::ExecMode::kSimulated) {
     simulator_ = std::make_unique<mpc::Simulator>(*cluster_);
+    if (fault_injector != nullptr)
+      simulator_->attach_fault_injector(fault_injector);
     scheduler_ =
         std::make_unique<mpc::BatchScheduler>(*cluster_, *simulator_, scheduler);
   }

@@ -30,11 +30,14 @@ class AgmStaticConnectivity {
   // `mode` selects how update batches execute against the cluster (flat /
   // routed-with-accounting / per-machine simulation); ignored when
   // `cluster` is null.  `scheduler` opts the simulated mode into adaptive
-  // batch bisection (see mpc::BatchScheduler).
+  // batch bisection (see mpc::BatchScheduler).  `fault_injector` (not
+  // owned, may be null) attaches a deterministic fault plan to the
+  // simulated executor (see mpc::FaultInjector).
   AgmStaticConnectivity(VertexId n, const GraphSketchConfig& sketch,
                         mpc::Cluster* cluster = nullptr,
                         mpc::ExecMode mode = mpc::ExecMode::kRouted,
-                        const mpc::SchedulerConfig& scheduler = {});
+                        const mpc::SchedulerConfig& scheduler = {},
+                        mpc::FaultInjector* fault_injector = nullptr);
 
   VertexId n() const { return n_; }
 

@@ -45,6 +45,8 @@ DynamicConnectivity::DynamicConnectivity(VertexId n,
   if (cluster_ != nullptr && config_.exec_mode == mpc::ExecMode::kSimulated) {
     simulator_ = std::make_unique<mpc::Simulator>(
         *cluster_, config_.simulator_scratch_words);
+    if (config_.fault_injector != nullptr)
+      simulator_->attach_fault_injector(config_.fault_injector);
     scheduler_ = std::make_unique<mpc::BatchScheduler>(*cluster_, *simulator_,
                                                        config_.scheduler);
   }

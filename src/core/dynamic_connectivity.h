@@ -62,6 +62,11 @@ struct ConnectivityConfig {
   // scratch_words knob, exposed so a front end can run a tighter memory
   // discipline than s without shrinking the cluster itself.
   std::uint64_t simulator_scratch_words = 0;
+  // Deterministic fault plan attached to the simulated executor
+  // (kSimulated mode only; see mpc::FaultInjector).  Not owned; must
+  // outlive the structure.  nullptr (default) = no faults, no
+  // transactional overhead.
+  mpc::FaultInjector* fault_injector = nullptr;
   // Stop the Boruvka replacement search after this many consecutive
   // levels in which no group recovered any edge (robustness against
   // individual sampler failures; 1 = the paper's bare loop).

@@ -50,11 +50,14 @@ class StreamingConnectivity {
   // buffered delta flushes execute against the cluster (flat / routed /
   // machine-by-machine simulation); ignored when `cluster` is null.
   // `scheduler` opts the simulated mode into adaptive batch bisection
-  // (see mpc::BatchScheduler).
+  // (see mpc::BatchScheduler).  `fault_injector` (not owned, may be null)
+  // attaches a deterministic fault plan to the simulated executor (see
+  // mpc::FaultInjector).
   explicit StreamingConnectivity(VertexId n, GraphSketchConfig sketch = {},
                                  mpc::Cluster* cluster = nullptr,
                                  mpc::ExecMode mode = mpc::ExecMode::kRouted,
-                                 const mpc::SchedulerConfig& scheduler = {});
+                                 const mpc::SchedulerConfig& scheduler = {},
+                                 mpc::FaultInjector* fault_injector = nullptr);
 
   VertexId n() const { return n_; }
 

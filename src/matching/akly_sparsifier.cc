@@ -117,4 +117,15 @@ std::uint64_t AklySparsifier::memory_words() const {
   return total;
 }
 
+void AklySparsifier::add_resident_words(std::span<std::uint64_t> out) const {
+  if (out.empty()) return;
+  // Same decomposition as memory_words(), bucketed by the owning machine.
+  // The maps iterate in an unspecified order, but per-machine addition
+  // commutes, so the resulting vector is deterministic.
+  const std::uint64_t machines = out.size();
+  for (const std::uint64_t key : active_) out[key % machines] += 1;
+  for (const auto& [key, e] : current_out_) out[key % machines] += 2;
+  for (const auto& [key, s] : samplers_) out[key % machines] += s.words() + 1;
+}
+
 }  // namespace streammpc

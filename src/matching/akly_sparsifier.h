@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -77,6 +78,16 @@ class AklySparsifier {
   std::vector<Edge> current_h() const;
 
   std::uint64_t memory_words() const;
+
+  // Per-machine resident footprint of this sparsifier's shards under a
+  // cluster of out.size() machines: active-pair key k's state — its
+  // active-set entry (1 word), current H-output (2 words), and sampler
+  // (words() + 1) — lives on machine k % machines, a pure function of the
+  // key.  ADDS into `out` so the parallel OPT' guesses accumulate into one
+  // vector; one instance's contribution sums to exactly memory_words().
+  // This is what lets the matching front end report resident state to
+  // Simulator::probe and ride the adaptive batch scheduler.
+  void add_resident_words(std::span<std::uint64_t> out) const;
 
  private:
   // Maps an edge to its active-pair key, or nullopt if the edge is not

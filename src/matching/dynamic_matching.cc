@@ -10,8 +10,14 @@ DynamicApproxMatching::DynamicApproxMatching(
     VertexId n, const DynamicMatchingConfig& config, mpc::Cluster* cluster)
     : n_(n), config_(config), cluster_(cluster) {
   SMPC_CHECK(n >= 2);
-  if (cluster_ != nullptr && config_.exec_mode == mpc::ExecMode::kSimulated)
-    simulator_ = std::make_unique<mpc::Simulator>(*cluster_);
+  if (cluster_ != nullptr && config_.exec_mode == mpc::ExecMode::kSimulated) {
+    simulator_ = std::make_unique<mpc::Simulator>(
+        *cluster_, config_.simulator_scratch_words);
+    if (config_.fault_injector != nullptr)
+      simulator_->attach_fault_injector(config_.fault_injector);
+    scheduler_ = std::make_unique<mpc::BatchScheduler>(*cluster_, *simulator_,
+                                                       config_.scheduler);
+  }
   SplitMix64 sm(config.seed);
   for (std::uint64_t guess = n; guess >= 1; guess /= 2) {
     Instance inst;
@@ -53,7 +59,6 @@ void DynamicApproxMatching::apply_batch(const Batch& batch) {
       delta_scratch_.push_back(
           EdgeDelta{u.e, u.type == UpdateType::kInsert ? 1 : -1});
     }
-    cluster_->route_batch(delta_scratch_, n_, routed_scratch_);
     for (auto& inst : guesses_) inst.sparsifier->begin_batch(batch);
     // An update is applied by the machine owning the edge's min endpoint
     // (the kEndpointU copy appears exactly once per delta), so every delta
@@ -69,12 +74,38 @@ void DynamicApproxMatching::apply_batch(const Batch& batch) {
           }
         };
     if (config_.exec_mode == mpc::ExecMode::kSimulated) {
-      simulator_->execute(
-          routed_scratch_, "matching/sketch-update",
-          [&](std::uint64_t, std::span<const mpc::RoutedBatch::Item> items) {
-            apply_owned(items);
-          });
+      const auto step = [&](std::uint64_t,
+                            std::span<const mpc::RoutedBatch::Item> items) {
+        apply_owned(items);
+      };
+      if (scheduler_->enabled()) {
+        // Scheduler path: the sampler shards report their per-machine
+        // resident words through a Target, so an over-budget batch is
+        // probed, bisected, retried, or grown instead of throwing — the
+        // same adaptive loop as the vertex-sketch front ends.  Routing
+        // happens inside the scheduler, per chunk.
+        mpc::BatchScheduler::Target target;
+        target.resident = [&](std::span<std::uint64_t> out) {
+          for (auto& inst : guesses_)
+            inst.sparsifier->add_resident_words(out);
+        };
+        target.deliver = [&](const mpc::RoutedBatch& routed,
+                             const std::string& label) {
+          resident_scratch_.assign(cluster_->machines(), 0);
+          for (auto& inst : guesses_)
+            inst.sparsifier->add_resident_words(resident_scratch_);
+          simulator_->execute(routed, label, step, resident_scratch_);
+        };
+        scheduler_->execute(delta_scratch_, n_, "matching/sketch-update",
+                            target);
+      } else {
+        // Default path, unchanged from pre-scheduler behavior: one flat
+        // delivery with resident = 0.
+        cluster_->route_batch(delta_scratch_, n_, routed_scratch_);
+        simulator_->execute(routed_scratch_, "matching/sketch-update", step);
+      }
     } else {
+      cluster_->route_batch(delta_scratch_, n_, routed_scratch_);
       cluster_->charge_routed(routed_scratch_, "matching/sketch-update");
       for (std::uint64_t m = 0; m < routed_scratch_.machines(); ++m) {
         apply_owned(routed_scratch_.machine_items(m));

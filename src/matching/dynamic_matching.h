@@ -19,6 +19,7 @@
 
 #include "matching/akly_sparsifier.h"
 #include "matching/batch_maximal_matching.h"
+#include "mpc/batch_scheduler.h"
 #include "mpc/cluster.h"
 #include "mpc/simulator.h"
 
@@ -38,14 +39,25 @@ struct DynamicMatchingConfig {
   // the communication the ledger charges).  All modes leave identical
   // sparsifier state (samplers are linear) and hence identical matchings.
   // Ignored when no cluster is attached.
-  //
-  // Note: the adaptive batch scheduler (mpc::BatchScheduler) does not
-  // apply here — it probes the *vertex-sketch* resident shards, and the
-  // matching path executes through the Simulator's sketch-free MachineStep
-  // overload (resident = 0, so delivered loads alone bound the batch; an
-  // over-budget sub-batch surfaces as MemoryBudgetExceeded exactly as
-  // before).  Extending the probe to sparsifier shards is a ROADMAP item.
   mpc::ExecMode exec_mode = mpc::ExecMode::kRouted;
+  // Adaptive batch scheduling (kSimulated mode only): with the split
+  // policy active, the AKLY sampler shards report their per-machine
+  // resident words (AklySparsifier::add_resident_words) through a
+  // scheduler Target, so over-budget update batches are probed,
+  // bisected, and retried exactly like the vertex-sketch front ends —
+  // including fault retry and machine-growing — instead of throwing
+  // MemoryBudgetExceeded.  With the scheduler disabled (the default
+  // kAuto with SMPC_SCHED unset), the path is byte-identical to the
+  // pre-scheduler behavior: the Simulator's sketch-free MachineStep
+  // overload with resident = 0.
+  mpc::SchedulerConfig scheduler;
+  // Per-machine scratch budget for the simulated executor, in words
+  // (0 = the cluster's local memory s).
+  std::uint64_t simulator_scratch_words = 0;
+  // Deterministic fault plan attached to the simulated executor
+  // (kSimulated mode only; crashes and budget spikes apply — there is no
+  // sketch grid to inject cell faults into).  Not owned; may be null.
+  mpc::FaultInjector* fault_injector = nullptr;
 };
 
 class DynamicApproxMatching {
@@ -66,6 +78,9 @@ class DynamicApproxMatching {
 
   // Non-null iff exec_mode == kSimulated and a cluster is attached.
   const mpc::Simulator* simulator() const { return simulator_.get(); }
+  // Non-null under the same condition; splits only when its resolved
+  // policy is active (scheduler()->enabled()).
+  const mpc::BatchScheduler* scheduler() const { return scheduler_.get(); }
 
   struct Instance {
     std::uint64_t opt_guess = 0;
@@ -78,9 +93,11 @@ class DynamicApproxMatching {
   VertexId n_;
   DynamicMatchingConfig config_;
   mpc::Cluster* cluster_;
-  std::unique_ptr<mpc::Simulator> simulator_;  // kSimulated mode only
+  std::unique_ptr<mpc::Simulator> simulator_;        // kSimulated mode only
+  std::unique_ptr<mpc::BatchScheduler> scheduler_;   // kSimulated mode only
   std::vector<EdgeDelta> delta_scratch_;       // reused batch-ingest buffer
   mpc::RoutedBatch routed_scratch_;  // reused per-machine sub-batches
+  std::vector<std::uint64_t> resident_scratch_;  // scheduler Target fold
   std::vector<Instance> guesses_;
 };
 

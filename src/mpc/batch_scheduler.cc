@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "mpc/fault_injector.h"
 #include "sketch/graphsketch.h"
 
 namespace streammpc::mpc {
@@ -19,6 +20,14 @@ SplitPolicy resolve_policy(SplitPolicy configured) {
   return SplitPolicy::kNone;
 }
 
+GrowPolicy resolve_grow(GrowPolicy configured) {
+  if (configured != GrowPolicy::kAuto) return configured;
+  if (const char* env = std::getenv("SMPC_GROW")) {
+    if (std::strcmp(env, "double") == 0) return GrowPolicy::kDouble;
+  }
+  return GrowPolicy::kNone;
+}
+
 }  // namespace
 
 BatchScheduler::BatchScheduler(Cluster& cluster, Simulator& simulator,
@@ -26,7 +35,8 @@ BatchScheduler::BatchScheduler(Cluster& cluster, Simulator& simulator,
     : cluster_(cluster),
       simulator_(simulator),
       config_(config),
-      policy_(resolve_policy(config.policy)) {
+      policy_(resolve_policy(config.policy)),
+      grow_(resolve_grow(config.grow)) {
   SMPC_CHECK(config_.min_chunk >= 1);
 }
 
@@ -35,70 +45,170 @@ void BatchScheduler::execute(std::span<const EdgeDelta> deltas,
                              VertexSketches& sketches) {
   if (deltas.empty()) return;
   ++stats_.batches;
-  execute_chunk(deltas, universe, label, sketches, /*offset=*/0, /*depth=*/0);
+  execute_chunk(deltas, universe, label, &sketches, /*target=*/nullptr,
+                /*offset=*/0, /*depth=*/0);
+}
+
+void BatchScheduler::execute(std::span<const EdgeDelta> deltas,
+                             std::uint64_t universe, const std::string& label,
+                             const Target& target) {
+  SMPC_CHECK_MSG(target.resident && target.deliver,
+                 "scheduler Target needs both a resident and a deliver hook");
+  if (deltas.empty()) return;
+  ++stats_.batches;
+  execute_chunk(deltas, universe, label, /*sketches=*/nullptr, &target,
+                /*offset=*/0, /*depth=*/0);
+}
+
+Simulator::BudgetProbe BatchScheduler::probe_target(const Target& target) {
+  resident_scratch_.assign(cluster_.machines(), 0);
+  target.resident(resident_scratch_);
+  return simulator_.probe(routed_, resident_scratch_);
 }
 
 void BatchScheduler::execute_chunk(std::span<const EdgeDelta> deltas,
                                    std::uint64_t universe,
                                    const std::string& label,
-                                   VertexSketches& sketches,
-                                   std::uint64_t offset, std::uint32_t depth) {
-  cluster_.route_batch(deltas, universe, routed_);
-  if (policy_ == SplitPolicy::kBisect) {
-    const Simulator::BudgetProbe report = simulator_.probe(routed_, sketches);
-    if (!report.fits) {
-      // Splitting shrinks only the *delivered* half of the claim; the
-      // resident shard rides along into every leaf, and any leaf that
-      // still carries one of the machine's deltas delivers at least
-      // kWordsPerDelta to it.  So an overflow is fixable by re-splitting
-      // only when resident + one delta fits — otherwise bisection would
-      // charge a cascade of control and delivery rounds and every leaf
-      // would overflow anyway (the geometry, not the batch size, is the
-      // problem: grow the machine count or phi).
-      const bool fixable = report.resident_words +
-                               RoutedBatch::kWordsPerDelta <=
-                           report.budget_words;
-      if (fixable && deltas.size() > config_.min_chunk &&
-          depth < config_.max_depth) {
-        // One control round per split: the over-budget machines report
-        // their geometry up the broadcast tree and the re-split schedule
-        // comes back down.  Charged BEFORE the halves deliver, so the
-        // ledger reads in causal order: detect, re-split, retry.
-        const std::uint64_t control =
-            std::max<std::uint64_t>(1, cluster_.broadcast_rounds());
-        cluster_.add_rounds(control, label + "/scheduler-split");
-        stats_.split_rounds += control;
-        ++stats_.splits;
-        stats_.max_depth =
-            std::max<std::uint64_t>(stats_.max_depth, depth + 1);
-        simulator_.note_scheduler_split();
-        if (stats_.split_log.size() < Stats::kMaxSplitRecords) {
-          stats_.split_log.push_back(Split{offset, deltas.size(), depth,
-                                           report.machine,
-                                           report.needed_words,
-                                           report.budget_words});
-        }
-        // Deterministic bisection at floor(size / 2).  The left half runs
-        // to completion (its pages allocate, growing the resident shards)
-        // before the right half is routed and probed — the probe therefore
-        // sees the true resident state each retry would see on a real
-        // cluster.
-        const std::size_t mid = deltas.size() / 2;
-        execute_chunk(deltas.first(mid), universe, label, sketches, offset,
-                      depth + 1);
-        execute_chunk(deltas.subspan(mid), universe, label, sketches,
-                      offset + mid, depth + 1);
-        return;
+                                   VertexSketches* sketches,
+                                   const Target* target, std::uint64_t offset,
+                                   std::uint32_t depth) {
+  for (;;) {
+    cluster_.route_batch(deltas, universe, routed_);
+    if (policy_ != SplitPolicy::kBisect) break;
+    const Simulator::BudgetProbe report =
+        sketches ? simulator_.probe(routed_, *sketches)
+                 : probe_target(*target);
+    if (report.fits) break;
+    // Splitting shrinks only the *delivered* half of the claim; the
+    // resident shard rides along into every leaf, and any leaf that
+    // still carries one of the machine's deltas delivers at least
+    // kWordsPerDelta to it.  So an overflow is fixable by re-splitting
+    // only when the minimal leaf claim — spike-scaled resident + one
+    // delta — fits; otherwise bisection would charge a cascade of
+    // control and delivery rounds and every leaf would overflow anyway
+    // (the geometry, not the batch size, is the problem: grow the
+    // machine count or phi).
+    const bool fixable = report.min_leaf_words <= report.budget_words;
+    if (fixable && deltas.size() > config_.min_chunk &&
+        depth < config_.max_depth) {
+      // One control round per split: the over-budget machines report
+      // their geometry up the broadcast tree and the re-split schedule
+      // comes back down.  Charged BEFORE the halves deliver, so the
+      // ledger reads in causal order: detect, re-split, retry.
+      const std::uint64_t control =
+          std::max<std::uint64_t>(1, cluster_.broadcast_rounds());
+      cluster_.add_rounds(control, label + "/scheduler-split");
+      stats_.split_rounds += control;
+      ++stats_.splits;
+      stats_.max_depth = std::max<std::uint64_t>(stats_.max_depth, depth + 1);
+      simulator_.note_scheduler_split();
+      if (stats_.split_log.size() < Stats::kMaxSplitRecords) {
+        stats_.split_log.push_back(Split{offset, deltas.size(), depth,
+                                         report.machine, report.needed_words,
+                                         report.budget_words});
       }
-      // Exhausted — unfixable overflow, min_chunk, or max_depth: execute
-      // regardless, without charging any split round.  Strict clusters
-      // throw from the executor's preflight (before any charge, keeping
-      // the reject-before-charge contract), non-strict record the overrun.
-      ++stats_.exhausted;
+      // Deterministic bisection at floor(size / 2).  The left half runs
+      // to completion (its pages allocate, growing the resident shards)
+      // before the right half is routed and probed — the probe therefore
+      // sees the true resident state each retry would see on a real
+      // cluster.
+      const std::size_t mid = deltas.size() / 2;
+      execute_chunk(deltas.first(mid), universe, label, sketches, target,
+                    offset, depth + 1);
+      execute_chunk(deltas.subspan(mid), universe, label, sketches, target,
+                    offset + mid, depth + 1);
+      return;
+    }
+    if (!fixable && grow_enabled() && stats_.grows < config_.max_grows) {
+      // The resident shard alone is (within one delta of) the budget:
+      // no batch sizing helps, but halving every vertex block does.
+      // Grow, then loop — the chunk re-routes and re-probes under the
+      // new geometry (possibly growing again, up to max_grows).
+      do_grow(label, sketches, target, offset, deltas.size(), report);
+      continue;
+    }
+    // Exhausted — unfixable overflow, min_chunk, or max_depth: execute
+    // regardless, without charging any split round.  Strict clusters
+    // throw from the executor's preflight (before any charge, keeping
+    // the reject-before-charge contract), non-strict record the overrun.
+    ++stats_.exhausted;
+    break;
+  }
+  deliver_chunk(label, sketches, target);
+}
+
+void BatchScheduler::deliver_chunk(const std::string& label,
+                                   VertexSketches* sketches,
+                                   const Target* target) {
+  for (unsigned attempt = 0;; ++attempt) {
+    const std::string attempt_label =
+        attempt == 0 ? label : label + "/retry";
+    try {
+      if (sketches) {
+        simulator_.execute(routed_, attempt_label, *sketches);
+      } else {
+        target->deliver(routed_, attempt_label);
+      }
+      ++stats_.subbatches;
+      return;
+    } catch (const TransientFault& fault) {
+      if (attempt >= config_.max_retries) throw;
+      // Deterministic backoff-in-rounds: sit out at least the rest of the
+      // fault's crash window (so the round clock the window is keyed on
+      // provably passes it), and at least attempt+1 rounds (linear
+      // backoff, so repeated faults on the same leaf spread out).  The
+      // idle rounds are charged under the SAME "/retry" label as the
+      // redelivery — every recovery is visible on the ledger.
+      const std::uint64_t wait = std::max<std::uint64_t>(
+          fault.retry_after_rounds(), attempt + 1);
+      cluster_.add_rounds(wait, label + "/retry");
+      ++stats_.retries;
+      stats_.retry_rounds += wait;
+    } catch (const MemoryBudgetExceeded& oom) {
+      if (attempt == 0) throw;
+      // A retry attempt overflowed (e.g. a budget spike window opened
+      // between attempts): re-throw under the chunk's ORIGINAL phase
+      // label so the diagnostic names the phase, not the retry alias.
+      throw MemoryBudgetExceeded(oom.machine(), oom.needed_words(),
+                                 oom.budget_words(), label,
+                                 oom.resident_words());
     }
   }
-  ++stats_.subbatches;
-  simulator_.execute(routed_, label, sketches);
+}
+
+void BatchScheduler::do_grow(const std::string& label,
+                             VertexSketches* sketches, const Target* target,
+                             std::uint64_t offset, std::uint64_t size,
+                             const Simulator::BudgetProbe& probe) {
+  // Control rounds at the OLD geometry: the over-budget machine reports up
+  // the broadcast tree and the new partitioning map comes back down.
+  const std::uint64_t before = cluster_.machines();
+  const std::uint64_t control =
+      std::max<std::uint64_t>(1, cluster_.broadcast_rounds());
+  const std::uint64_t after = cluster_.grow();
+  // One shuffle round re-partitions the resident shards: the contiguous-
+  // block partitioner at 2x machines splits every old vertex block in
+  // half, so each shard's words land on the machine that now hosts it.
+  // Fold the resident distribution at the NEW count — those are exactly
+  // the words each new machine receives — and put the full volume on the
+  // ledger (honest accounting: re-partitioning is not free).
+  resident_scratch_.assign(after, 0);
+  if (sketches) {
+    for (std::uint64_t m = 0; m < after; ++m)
+      resident_scratch_[m] = sketches->resident_words(m, cluster_);
+  } else {
+    target->resident(resident_scratch_);
+  }
+  std::uint64_t moved = 0;
+  for (const std::uint64_t w : resident_scratch_) moved += w;
+  cluster_.add_rounds(control + 1, label + "/grow-shuffle");
+  cluster_.charge_comm(moved);
+  cluster_.comm_ledger().record_round(resident_scratch_);
+  ++stats_.grows;
+  stats_.grow_rounds += control + 1;
+  stats_.grow_words += moved;
+  stats_.grow_log.push_back(Grow{offset, size, before, after, probe.machine,
+                                 probe.resident_words, moved});
 }
 
 }  // namespace streammpc::mpc

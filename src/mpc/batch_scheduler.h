@@ -49,6 +49,39 @@
 // BudgetProbe::resident_words so a permanently-over-budget stream costs
 // one probe per batch, never a futile bisection cascade.
 //
+// Recovery (PR 6).  Two reactions close the loop the fault-injection layer
+// (mpc/fault_injector.h) opens:
+//
+//   * Transient faults.  A leaf delivery that throws TransientFault (cell
+//     failure rolled back by the executor, or a machine in a crash window
+//     rejected pre-charge) is retried up to SchedulerConfig::max_retries
+//     times.  Each retry first charges deterministic backoff-in-rounds
+//     under "<label>/retry" — max(remaining crash window, attempt number)
+//     idle rounds, which advances the exact round clock crash windows are
+//     keyed on — and then redelivers under the same "<label>/retry" label,
+//     so every attempt's rounds are visible on the ledger.  Exhausted
+//     retries propagate the fault.
+//   * Machine-growing.  When the probe says the overflow is UNFIXABLE by
+//     splitting (resident + one delta > budget) and SchedulerConfig::grow
+//     allows it, the scheduler requests a cluster of 2x machines
+//     (Cluster::grow()), charges a broadcast control round plus one
+//     shuffle round under "<label>/grow-shuffle" — with the full resident
+//     state as the shuffle's communication volume, recorded per NEW
+//     machine on the ledger — then re-routes the chunk under the new
+//     geometry and resumes.  This closes the ROADMAP machine-growing open
+//     item: a resident shard that can no longer fit is *re-partitioned*
+//     (each old vertex block splits in half), not given up on.  Growing is
+//     strictly opt-in (GrowPolicy::kAuto resolves the SMPC_GROW
+//     environment variable, unset = never), so default runs keep the
+//     pre-PR throw-on-exhaustion contract.
+//
+// Determinism of both reactions follows from the determinism of their
+// inputs: faults fire off the plan's deterministic clocks, backoff is a
+// pure function of the fault and the attempt number, and growing is a pure
+// function of the probe geometry — so a faulted run's sketches, ledger,
+// and recovery stats are byte-identical for every grid thread count
+// (tests/test_mpc_fault.cc).
+//
 // Atomicity caveat: under kBisect the reject-whole guarantee holds per
 // LEAF DELIVERY, not per top-level execute() call.  Leaves that landed
 // before a later leaf throws stay applied and charged — they were genuine
@@ -63,6 +96,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -94,6 +128,20 @@ class BatchScheduler {
     friend bool operator==(const Split&, const Split&) = default;
   };
 
+  // One machine-growing event, in deterministic order: the chunk that
+  // forced it and the geometry before/after.
+  struct Grow {
+    std::uint64_t offset = 0;         // first delta of the forcing chunk
+    std::uint64_t size = 0;           // deltas in the forcing chunk
+    std::uint64_t machines_before = 0;
+    std::uint64_t machines_after = 0;
+    std::uint64_t machine = 0;        // the unfixably over-budget machine
+    std::uint64_t resident_words = 0; // its resident shard at the decision
+    std::uint64_t shuffled_words = 0; // total resident words re-partitioned
+
+    friend bool operator==(const Grow&, const Grow&) = default;
+  };
+
   struct Stats {
     std::uint64_t batches = 0;      // top-level batches submitted
     std::uint64_t subbatches = 0;   // leaf chunks actually executed
@@ -102,11 +150,32 @@ class BatchScheduler {
     std::uint64_t exhausted = 0;    // chunks executed over budget because
                                     // min_chunk / max_depth stopped splitting
     std::uint64_t max_depth = 0;    // deepest split level reached
+    // --- recovery (PR 6) ---
+    std::uint64_t retries = 0;      // redeliveries after a TransientFault
+    std::uint64_t retry_rounds = 0; // backoff rounds charged under ".../retry"
+    std::uint64_t grows = 0;        // machine-growing events
+    std::uint64_t grow_rounds = 0;  // control+shuffle rounds charged for grows
+    std::uint64_t grow_words = 0;   // resident words shuffled across all grows
     // The split tree in deterministic pre-order; capped like the
     // Simulator's overrun list so a permanently-over-budget stream cannot
     // grow it without bound (the counters stay exact).
     static constexpr std::size_t kMaxSplitRecords = 4096;
     std::vector<Split> split_log;
+    // Every grow, in order (never more than SchedulerConfig::max_grows).
+    std::vector<Grow> grow_log;
+  };
+
+  // A non-sketch delivery target: lets front ends whose per-machine state
+  // is not a VertexSketches arena (e.g. the AKLY matching sampler shards)
+  // ride the same probe/split/retry/grow loop.  `resident` fills out[m]
+  // with machine m's resident words under the CURRENT cluster geometry
+  // (out.size() == cluster.machines(); it is re-queried after a grow);
+  // `deliver` executes one routed leaf under `label` and may throw
+  // TransientFault / MemoryBudgetExceeded exactly like Simulator::execute.
+  struct Target {
+    std::function<void(std::span<std::uint64_t> out)> resident;
+    std::function<void(const RoutedBatch& routed, const std::string& label)>
+        deliver;
   };
 
   // `config.policy` kAuto resolves against the SMPC_SCHED environment
@@ -127,20 +196,46 @@ class BatchScheduler {
   void execute(std::span<const EdgeDelta> deltas, std::uint64_t universe,
                const std::string& label, VertexSketches& sketches);
 
+  // Same loop over a generic Target (see above).  The probe folds the
+  // target's self-reported resident words instead of walking sketch pages;
+  // everything else — split tree, retry, grow, accounting — is identical.
+  void execute(std::span<const EdgeDelta> deltas, std::uint64_t universe,
+               const std::string& label, const Target& target);
+
+  // Whether machine-growing is active (after kAuto/SMPC_GROW resolution).
+  bool grow_enabled() const { return grow_ == GrowPolicy::kDouble; }
+
   const Stats& stats() const { return stats_; }
   const Cluster& cluster() const { return cluster_; }
   const Simulator& simulator() const { return simulator_; }
 
  private:
+  // Exactly one of `sketches` / `target` is non-null.
   void execute_chunk(std::span<const EdgeDelta> deltas, std::uint64_t universe,
-                     const std::string& label, VertexSketches& sketches,
-                     std::uint64_t offset, std::uint32_t depth);
+                     const std::string& label, VertexSketches* sketches,
+                     const Target* target, std::uint64_t offset,
+                     std::uint32_t depth);
+  // Delivers one routed leaf with the bounded retry loop; `routed_` must
+  // hold the chunk's routing.  Throws only after retries are exhausted (or
+  // on a non-transient error).
+  void deliver_chunk(const std::string& label, VertexSketches* sketches,
+                     const Target* target);
+  // Probes the current `routed_` chunk against the target's resident words.
+  Simulator::BudgetProbe probe_target(const Target& target);
+  // The machine-growing step: charge the control + shuffle rounds under
+  // "<label>/grow-shuffle", double the cluster, record the re-partitioned
+  // resident volume on the ledger.
+  void do_grow(const std::string& label, VertexSketches* sketches,
+               const Target* target, std::uint64_t offset, std::uint64_t size,
+               const Simulator::BudgetProbe& probe);
 
   Cluster& cluster_;
   Simulator& simulator_;
   SchedulerConfig config_;
   SplitPolicy policy_;   // resolved (never kAuto)
+  GrowPolicy grow_;      // resolved (never kAuto)
   RoutedBatch routed_;   // per-chunk routing scratch, reused
+  std::vector<std::uint64_t> resident_scratch_;  // Target probe fold
   Stats stats_;
 };
 

@@ -66,6 +66,13 @@ Cluster::Cluster(const MpcConfig& config) : config_(config) {
   ledger_.reset(machines_);
 }
 
+std::uint64_t Cluster::grow() {
+  machines_ *= 2;
+  config_.machines = machines_;
+  ledger_.grow(machines_);
+  return machines_;
+}
+
 std::uint64_t Cluster::machine_of(std::uint64_t v, std::uint64_t universe) const {
   SMPC_CHECK(universe >= 1 && v < universe);
   // floor(v * P / universe): contiguous blocks, balanced to within one

@@ -44,6 +44,19 @@ class Cluster {
   // Simulator mirrors this policy for its memory-budget diagnostics.
   bool strict() const { return config_.strict; }
 
+  // Machine-growing (the mpc::BatchScheduler recovery path for unfixable
+  // resident overflow): doubles the machine count in place and returns the
+  // new count.  The contiguous-block partitioner is a pure function of
+  // (v, universe, machines), so the re-partitioned vertex blocks — each
+  // old block split in half — are implicit: the next route_batch and
+  // resident fold see the new geometry with no further bookkeeping.  The
+  // CommLedger is *grown*, never reset (history is preserved; the new
+  // machines start with zero cumulative words).  The CALLER charges the
+  // shuffle that moves the resident shards — growing itself is free here,
+  // because what it models is a re-allocation request to the platform,
+  // not a round.  Local memory s per machine is unchanged.
+  std::uint64_t grow();
+
   // --- rounds ---------------------------------------------------------------
   // Charges `r` synchronous rounds attributed to `label`.
   void add_rounds(std::uint64_t r, const std::string& label);

@@ -29,6 +29,14 @@ void CommLedger::reset(std::uint64_t machines) {
   resident_peak_by_machine_.clear();
 }
 
+void CommLedger::grow(std::uint64_t machines) {
+  SMPC_CHECK_MSG(machines >= words_by_machine_.size(),
+                 "CommLedger::grow cannot shrink the machine count");
+  words_by_machine_.resize(machines, 0);
+  if (!resident_peak_by_machine_.empty())
+    resident_peak_by_machine_.resize(machines, 0);
+}
+
 void CommLedger::record_round(std::span<const std::uint64_t> loads) {
   SMPC_CHECK_MSG(loads.size() == words_by_machine_.size(),
                  "routed load vector does not match the machine count");

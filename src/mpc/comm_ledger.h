@@ -95,6 +95,12 @@ class CommLedger {
   // Clears all statistics and re-sizes to `machines`.
   void reset(std::uint64_t machines);
 
+  // Re-sizes to a LARGER machine count while preserving every accumulated
+  // statistic (Cluster::grow's machine-growing path): the new machines
+  // join with zero cumulative words and zero resident peaks; rounds,
+  // totals, and the existing machines' histories are untouched.
+  void grow(std::uint64_t machines);
+
   // Records the delivery of one routed batch; loads.size() must equal
   // machines().  An all-zero load vector still counts as a round (the
   // synchronous round happens whether or not every machine receives data).

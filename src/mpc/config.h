@@ -44,6 +44,20 @@ enum class ExecMode : std::uint8_t { kFlat, kRouted, kSimulated };
 //             conformance matrix once with SMPC_SCHED=bisect.
 enum class SplitPolicy : std::uint8_t { kAuto, kNone, kBisect };
 
+// How the scheduler reacts when splitting cannot help — the offending
+// machine's *resident shard* alone exceeds the budget, so only
+// re-partitioning can (the ROADMAP machine-growing case):
+//   kNone   — never grow; the chunk executes exhausted (strict throws,
+//             non-strict records), the pre-growing behavior.
+//   kDouble — request a cluster of 2x machines (Cluster::grow()),
+//             re-partition the resident shards via a charged shuffle round
+//             under "<label>/grow-shuffle", re-route, and resume.
+//   kAuto   — resolve from the SMPC_GROW environment variable at scheduler
+//             construction ("double" enables growing; anything else, or
+//             unset, means kNone — growing mutates the cluster geometry,
+//             so it is strictly opt-in).
+enum class GrowPolicy : std::uint8_t { kAuto, kNone, kDouble };
+
 // Per-front-end opt-in knobs for the adaptive batch scheduler.  Embedded in
 // the front ends' config structs (e.g. ConnectivityConfig::scheduler);
 // ignored unless the structure executes in ExecMode::kSimulated.
@@ -52,11 +66,21 @@ struct SchedulerConfig {
   // Never bisect a chunk of at most this many deltas; a chunk that still
   // does not fit at this size executes anyway (throwing under a strict
   // cluster, recording an overrun otherwise) — at that point the resident
-  // shard alone is the problem and no batch sizing can fix it.
+  // shard alone is the problem and no batch sizing can fix it, unless
+  // machine-growing is enabled below.
   std::size_t min_chunk = 1;
   // Hard cap on the bisection depth (2^depth leaves); a backstop against
   // pathological geometry, far above any real split tree.
   unsigned max_depth = 40;
+  // Recovery policy for transient faults (mpc::FaultInjector): how many
+  // times one leaf delivery is retried — with deterministic
+  // backoff-in-rounds charged under "<label>/retry" — before the
+  // TransientFault propagates.  0 disables retry.
+  unsigned max_retries = 3;
+  // Machine-growing reaction to unfixable resident overflow, and a cap on
+  // how many times the cluster may double over the scheduler's lifetime.
+  GrowPolicy grow = GrowPolicy::kAuto;
+  unsigned max_grows = 4;
 };
 
 struct MpcConfig {

@@ -32,7 +32,8 @@ ExecPlan& ExecPlan::lower_routed(const RoutedBatch& routed) {
 }
 
 std::uint64_t ExecPlan::run(VertexSketches& sketches, ThreadPool* pool,
-                            std::span<const std::uint64_t> order) {
+                            std::span<const std::uint64_t> order,
+                            std::uint64_t skip_machine, unsigned skip_bank) {
   SMPC_CHECK_MSG(view_ != nullptr, "ExecPlan::run before lowering");
   const RoutedBatch& routed = *view_;
   const std::uint64_t machines = routed.machines();
@@ -46,6 +47,7 @@ std::uint64_t ExecPlan::run(VertexSketches& sketches, ThreadPool* pool,
   const auto run_cell = [&](std::size_t row, std::size_t bank) {
     const std::uint64_t m = order.empty() ? row : order[row];
     if (routed.load_words[m] == 0) return;
+    if (m == skip_machine && bank == skip_bank) return;  // injected fault
     cell_scratch_[m * banks + bank] =
         sketches.ingest_cell(m, static_cast<unsigned>(bank), routed);
   };

@@ -72,8 +72,18 @@ class ExecPlan {
   // one owned endpoint), summed over every cell of the grid — folded in
   // machine-major order from per-cell scratch slots, so the value is
   // identical for every schedule (it feeds Simulator::Stats directly).
+  //
+  // `skip_machine`/`skip_bank` name one cell whose work is *lost* — the
+  // Simulator's fault-injection hook (mpc/fault_injector.h): the cell is
+  // not executed, modelling a machine that died mid-round.  The caller is
+  // responsible for rolling back the whole batch afterwards (the grid's
+  // synchronous-round semantics: a failed round is retried whole), so the
+  // skip never leaks into observable state.  kNoSkip = run every cell.
+  static constexpr std::uint64_t kNoSkip = ~std::uint64_t{0};
   std::uint64_t run(VertexSketches& sketches, ThreadPool* pool,
-                    std::span<const std::uint64_t> order = {});
+                    std::span<const std::uint64_t> order = {},
+                    std::uint64_t skip_machine = kNoSkip,
+                    unsigned skip_bank = 0);
 
  private:
   RoutedBatch staged_;                 // lower_flat's 1-machine CSR

@@ -1,0 +1,153 @@
+#include "mpc/fault_injector.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace streammpc::mpc {
+
+namespace {
+
+const char* kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCellFailure:
+      return "cell failure";
+    case FaultKind::kMachineCrash:
+      return "machine crash";
+    case FaultKind::kBudgetSpike:
+      return "budget spike";
+  }
+  return "fault";
+}
+
+std::string fault_message(FaultKind kind, std::uint64_t machine,
+                          std::uint64_t round, const std::string& label,
+                          std::uint64_t retry_after) {
+  std::ostringstream os;
+  os << "transient fault: " << kind_name(kind) << " on machine " << machine
+     << " at " << (kind == FaultKind::kCellFailure ? "step " : "round ")
+     << round << " during '" << label << "'";
+  if (retry_after > 0) os << " (recoverable after " << retry_after << " rounds)";
+  return os.str();
+}
+
+}  // namespace
+
+TransientFault::TransientFault(FaultKind kind, std::uint64_t machine,
+                               std::uint64_t round, std::string label,
+                               std::uint64_t retry_after_rounds)
+    : std::runtime_error(
+          fault_message(kind, machine, round, label, retry_after_rounds)),
+      kind_(kind),
+      machine_(machine),
+      round_(round),
+      retry_after_rounds_(retry_after_rounds),
+      label_(std::move(label)) {}
+
+FaultInjector FaultInjector::random_plan(const RandomPlanConfig& config) {
+  SMPC_CHECK(config.machines >= 1);
+  FaultInjector plan;
+  SplitMix64 sm(config.seed);
+  for (std::uint64_t i = 0; i < config.cell_faults; ++i) {
+    plan.add_cell_fault(sm.next() %
+                        std::max<std::uint64_t>(1, config.step_horizon));
+  }
+  for (std::uint64_t i = 0; i < config.crashes; ++i) {
+    const std::uint64_t machine = sm.next() % config.machines;
+    const std::uint64_t first =
+        sm.next() % std::max<std::uint64_t>(1, config.round_horizon);
+    plan.add_machine_crash(machine, first, first + config.crash_rounds);
+  }
+  for (std::uint64_t i = 0; i < config.spikes; ++i) {
+    const std::uint64_t machine = sm.next() % config.machines;
+    const std::uint64_t first =
+        sm.next() % std::max<std::uint64_t>(1, config.round_horizon);
+    plan.add_budget_spike(machine, first, first + config.spike_rounds,
+                          std::max<std::uint64_t>(2, config.spike_factor));
+  }
+  return plan;
+}
+
+void FaultInjector::add_cell_fault(std::uint64_t step) {
+  cell_faults_.push_back(CellFault{step, false});
+}
+
+void FaultInjector::add_machine_crash(std::uint64_t machine,
+                                      std::uint64_t first_round,
+                                      std::uint64_t last_round) {
+  SMPC_CHECK(first_round < last_round);
+  crashes_.push_back(MachineCrash{machine, first_round, last_round});
+}
+
+void FaultInjector::add_budget_spike(std::uint64_t machine,
+                                     std::uint64_t first_round,
+                                     std::uint64_t last_round,
+                                     std::uint64_t factor_num,
+                                     std::uint64_t factor_den) {
+  SMPC_CHECK(first_round < last_round);
+  SMPC_CHECK(factor_den >= 1 && factor_num >= factor_den);
+  spikes_.push_back(
+      BudgetSpike{machine, first_round, last_round, factor_num, factor_den});
+}
+
+bool FaultInjector::consume_cell_fault(std::uint64_t step) {
+  for (CellFault& fault : cell_faults_) {
+    if (!fault.fired && fault.step == step) {
+      fault.fired = true;
+      ++stats_.cell_faults_fired;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::machine_down(std::uint64_t machine,
+                                 std::uint64_t round) const {
+  for (const MachineCrash& crash : crashes_) {
+    if (crash.machine == machine && round >= crash.first_round &&
+        round < crash.last_round) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t FaultInjector::next_up_round(std::uint64_t machine,
+                                           std::uint64_t round) const {
+  // Windows may overlap or abut; advance past every window covering the
+  // candidate round until none does.  Terminates: each pass either returns
+  // or strictly advances past one window's end, and there are finitely
+  // many windows.
+  std::uint64_t candidate = round;
+  for (;;) {
+    bool moved = false;
+    for (const MachineCrash& crash : crashes_) {
+      if (crash.machine == machine && candidate >= crash.first_round &&
+          candidate < crash.last_round) {
+        candidate = crash.last_round;
+        moved = true;
+      }
+    }
+    if (!moved) return candidate;
+  }
+}
+
+std::uint64_t FaultInjector::scaled_claim(std::uint64_t machine,
+                                          std::uint64_t round,
+                                          std::uint64_t words) const {
+  std::uint64_t claim = words;
+  for (const BudgetSpike& spike : spikes_) {
+    if (spike.machine == machine && round >= spike.first_round &&
+        round < spike.last_round) {
+      claim = static_cast<std::uint64_t>(
+          (static_cast<__uint128_t>(claim) * spike.factor_num +
+           spike.factor_den - 1) /
+          spike.factor_den);
+    }
+  }
+  return claim;
+}
+
+}  // namespace streammpc::mpc

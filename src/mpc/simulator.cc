@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "mpc/fault_injector.h"
 #include "sketch/graphsketch.h"
 
 namespace streammpc::mpc {
@@ -74,18 +75,44 @@ std::uint64_t Simulator::effective_budget() const {
              : scratch_words_;
 }
 
-void Simulator::preflight(const RoutedBatch& routed, const std::string& label,
-                          std::span<const std::uint64_t> resident) {
+std::uint64_t Simulator::claim_words(std::uint64_t machine,
+                                     std::uint64_t words) const {
+  if (injector_ == nullptr) return words;
+  return injector_->scaled_claim(machine, cluster_.rounds(), words);
+}
+
+void Simulator::fault_gate(const RoutedBatch& routed,
+                           const std::string& label) {
+  if (injector_ == nullptr) return;
+  // A machine in a crash window cannot receive its sub-batch: reject the
+  // delivery before any charge or mutation (lowest crashed target machine
+  // wins, so the diagnostic is deterministic).  The wait the exception
+  // carries is keyed on the same round counter the window is — charging
+  // that many idle rounds deterministically clears the crash.
+  const std::uint64_t round = cluster_.rounds();
+  for (std::uint64_t m = 0; m < routed.machines(); ++m) {
+    if (routed.load_words[m] == 0) continue;
+    if (injector_->machine_down(m, round)) {
+      ++stats_.crash_faults;
+      throw TransientFault(FaultKind::kMachineCrash, m, round, label,
+                           injector_->next_up_round(m, round) - round);
+    }
+  }
+}
+
+void Simulator::budget_gate(const RoutedBatch& routed, const std::string& label,
+                            std::span<const std::uint64_t> resident) {
   const std::uint64_t machines = routed.machines();
   // Budget pre-scan over each machine's full claim — resident shard plus
-  // delivered sub-batch.  A strict cluster rejects the whole batch before
-  // any page has been allocated or any round charged (lowest offending
-  // machine id wins, so the diagnostic is deterministic and independent of
-  // the cell schedule).
+  // delivered sub-batch, scaled by any active budget spike.  A strict
+  // cluster rejects the whole batch before any page has been allocated or
+  // any round charged (lowest offending machine id wins, so the diagnostic
+  // is deterministic and independent of the cell schedule).
   const std::uint64_t strict_limit = effective_budget();
   for (std::uint64_t m = 0; m < machines; ++m) {
     const std::uint64_t shard = resident.empty() ? 0 : resident[m];
-    const std::uint64_t need = shard + routed.load_words[m];
+    const std::uint64_t need =
+        claim_words(m, shard + routed.load_words[m]);
     if (cluster_.strict()) {
       if (need > strict_limit)
         throw MemoryBudgetExceeded(m, need, strict_limit, label, shard);
@@ -97,7 +124,12 @@ void Simulator::preflight(const RoutedBatch& routed, const std::string& label,
         stats_.overruns.push_back(Overrun{m, need, shard, scratch_words_});
     }
   }
+}
 
+void Simulator::charge_delivery(const RoutedBatch& routed,
+                                const std::string& label,
+                                std::span<const std::uint64_t> resident) {
+  const std::uint64_t machines = routed.machines();
   // Delivery: one synchronous scatter round, per-machine loads on the
   // ledger (and, when scratch == s, the same overflow the pre-scan saw is
   // recorded as a Cluster capacity violation).  The resident peaks ride
@@ -117,6 +149,38 @@ void Simulator::preflight(const RoutedBatch& routed, const std::string& label,
     stats_.peak_step_words =
         std::max(stats_.peak_step_words, routed.load_words[m]);
   }
+}
+
+void Simulator::preflight(const RoutedBatch& routed, const std::string& label,
+                          std::span<const std::uint64_t> resident) {
+  fault_gate(routed, label);
+  budget_gate(routed, label, resident);
+  charge_delivery(routed, label, resident);
+}
+
+bool Simulator::scan_cell_faults(const RoutedBatch& routed, unsigned banks,
+                                 std::uint64_t* fault_machine,
+                                 unsigned* fault_bank) {
+  if (injector_ == nullptr) return false;
+  // The batch covers the cell-step window [cell_steps, cell_steps + k) in
+  // machine-major (machine-ascending, bank-ascending) enumeration over the
+  // non-empty machines — the same accounting order the success path uses
+  // to advance cell_steps.  Stop at the FIRST firing fault: later faults
+  // in the window stay armed and fire on the retry, which re-scans the
+  // same window (cell_steps advances only on success).
+  std::uint64_t id = stats_.cell_steps;
+  for (std::uint64_t m = 0; m < routed.machines(); ++m) {
+    if (routed.load_words[m] == 0) continue;
+    for (unsigned b = 0; b < banks; ++b, ++id) {
+      if (injector_->consume_cell_fault(id)) {
+        *fault_machine = m;
+        *fault_bank = b;
+        fault_step_scratch_ = id;
+        return true;
+      }
+    }
+  }
+  return false;
 }
 
 void Simulator::execute(const RoutedBatch& routed, const std::string& label,
@@ -153,18 +217,28 @@ Simulator::BudgetProbe Simulator::probe(const RoutedBatch& routed,
                                         const VertexSketches& sketches) {
   SMPC_CHECK_MSG(routed.machines() == cluster_.machines(),
                  "routed batch was built for a different machine count");
+  return probe(routed, resident_fold(sketches, routed.machines()));
+}
+
+Simulator::BudgetProbe Simulator::probe(
+    const RoutedBatch& routed, std::span<const std::uint64_t> resident) {
+  SMPC_CHECK_MSG(routed.machines() == cluster_.machines(),
+                 "routed batch was built for a different machine count");
+  SMPC_CHECK_MSG(resident.empty() || resident.size() == routed.machines(),
+                 "resident vector does not match the machine count");
   const std::uint64_t machines = routed.machines();
-  const std::span<const std::uint64_t> resident =
-      resident_fold(sketches, machines);
   BudgetProbe report;
   report.budget_words = effective_budget();
   for (std::uint64_t m = 0; m < machines; ++m) {
-    const std::uint64_t need = resident[m] + routed.load_words[m];
+    const std::uint64_t shard = resident.empty() ? 0 : resident[m];
+    const std::uint64_t need = claim_words(m, shard + routed.load_words[m]);
     if (need > report.budget_words) {
       report.fits = false;
       report.machine = m;
       report.needed_words = need;
-      report.resident_words = resident[m];
+      report.resident_words = shard;
+      report.min_leaf_words =
+          claim_words(m, shard + RoutedBatch::kWordsPerDelta);
       return report;
     }
   }
@@ -186,28 +260,68 @@ void Simulator::execute(const RoutedBatch& routed, const std::string& label,
     seen_scratch_[m] = 1;
   }
 
-  preflight(routed, label, resident_fold(sketches, machines));
+  const std::span<const std::uint64_t> resident =
+      resident_fold(sketches, machines);
+  // Gates first — a crashed target machine or a strict budget overflow
+  // rejects the batch with zero mutation and zero charge.
+  fault_gate(routed, label);
+  budget_gate(routed, label, resident);
 
-  // Local computation of the delivered round: the shared (machine x bank)
-  // grid pipeline (mpc::ExecPlan — the same lowering flat and routed
-  // update_edges use).  Page preparation is canonical-order and
-  // thread-count-independent; afterwards the cells share no mutable state,
-  // so neither the work-stealing schedule nor the machine visit order can
-  // affect the resulting bytes.
+  // With a fault plan attached the delivery runs transactionally: the
+  // snapshot is taken BEFORE any page preparation (it walks the batch in
+  // the preparation pass's own per-bank pattern), the delivery round is
+  // charged (it happened — round-compression honesty says a lost round is
+  // still a round), and a fired cell fault rolls the whole batch back to
+  // the snapshot bytes.  The serial pre-scan consumes the fault before the
+  // grid runs, so which cell dies is a function of the plan and the
+  // stream, never of the thread schedule.
   const unsigned banks = sketches.banks();
   const std::size_t cells = static_cast<std::size_t>(machines) * banks;
-  stats_.applied_updates +=
-      plan_.lower_routed(routed).run(sketches, pool(cells), order);
+  const bool transactional = injector_ != nullptr;
+  std::uint64_t fault_machine = ExecPlan::kNoSkip;
+  unsigned fault_bank = 0;
+  const bool faulted =
+      scan_cell_faults(routed, banks, &fault_machine, &fault_bank);
+  if (transactional) sketches.begin_transaction(routed, pool(cells));
+  charge_delivery(routed, label, resident);
+  std::uint64_t applied = 0;
+  try {
+    applied = plan_.lower_routed(routed).run(
+        sketches, pool(cells), order,
+        faulted ? fault_machine : ExecPlan::kNoSkip, fault_bank);
+  } catch (...) {
+    // Exception safety by construction: ANY mid-grid throw unwinds to the
+    // snapshot bytes (transactional mode), instead of leaving a partially
+    // applied batch in the arenas.
+    if (transactional) {
+      sketches.rollback_transaction();
+      ++stats_.rollbacks;
+    }
+    throw;
+  }
+  if (faulted) {
+    sketches.rollback_transaction();
+    ++stats_.rollbacks;
+    ++stats_.cell_faults;
+    stats_.rolled_back_updates += applied;
+    throw TransientFault(FaultKind::kCellFailure, fault_machine,
+                         fault_step_scratch_, label, /*retry_after_rounds=*/0);
+  }
+  if (transactional) sketches.commit_transaction();
+  stats_.applied_updates += applied;
   for (std::uint64_t m = 0; m < machines; ++m) {
     if (routed.load_words[m] != 0) stats_.cell_steps += banks;
   }
 }
 
 void Simulator::execute(const RoutedBatch& routed, const std::string& label,
-                        const MachineStep& step) {
+                        const MachineStep& step,
+                        std::span<const std::uint64_t> resident) {
   SMPC_CHECK_MSG(routed.machines() == cluster_.machines(),
                  "routed batch was built for a different machine count");
-  preflight(routed, label, {});
+  SMPC_CHECK_MSG(resident.empty() || resident.size() == routed.machines(),
+                 "resident vector does not match the machine count");
+  preflight(routed, label, resident);
   for (std::uint64_t m = 0; m < routed.machines(); ++m) {
     if (routed.load_words[m] == 0) continue;
     ++stats_.cell_steps;

@@ -74,6 +74,8 @@ class VertexSketches;
 
 namespace mpc {
 
+class FaultInjector;
+
 // Structured diagnostic: one simulated machine's claim on local memory —
 // resident sketch shard plus delivered sub-batch — does not fit its
 // budget.  Derives from std::runtime_error (not CheckError — this is a
@@ -141,6 +143,16 @@ class Simulator {
     // turns one rejected delivery into two retried ones; the extra
     // delivery rounds appear in `batches` and on the CommLedger).
     std::uint64_t scheduler_splits = 0;
+    // Fault-injection visibility (0 unless a FaultInjector is attached):
+    // transient cell failures fired mid-grid, machine-crash rejections
+    // thrown pre-charge, batch rollbacks performed, and the applied-update
+    // counts those rollbacks discarded (cell_steps / applied_updates only
+    // ever count *successful* deliveries, so the retry step window is
+    // re-scanned deterministically).
+    std::uint64_t cell_faults = 0;
+    std::uint64_t crash_faults = 0;
+    std::uint64_t rollbacks = 0;
+    std::uint64_t rolled_back_updates = 0;
   };
 
   // `scratch_words` bounds each simulated machine's claim for one step
@@ -180,14 +192,20 @@ class Simulator {
 
   // Sketch-free executor for front ends whose per-machine state is not a
   // VertexSketches shard (the matching sparsifiers): same delivery charge,
-  // budget pre-scan (resident = 0), and stats, with the local computation
-  // delegated to `step`, called serially per non-empty machine in
-  // ascending order with that machine's CSR sub-batch.
+  // budget pre-scan, and stats, with the local computation delegated to
+  // `step`, called serially per non-empty machine in ascending order with
+  // that machine's CSR sub-batch.  `resident`, when non-empty (one entry
+  // per machine), is the caller's per-machine resident state — e.g. AKLY
+  // sampler shards — charged against the budget and recorded on the ledger
+  // exactly like a sketch shard; empty = resident 0, the historical
+  // behavior.  Fault injection applies to crashes and spikes only (there
+  // is no cell grid, and the step's state is the caller's to roll back).
   using MachineStep =
       std::function<void(std::uint64_t machine,
                          std::span<const RoutedBatch::Item> items)>;
   void execute(const RoutedBatch& routed, const std::string& label,
-               const MachineStep& step);
+               const MachineStep& step,
+               std::span<const std::uint64_t> resident = {});
 
   // Non-mutating budget pre-check: would execute(routed, ., sketches) fit
   // every machine's claim (resident shard + delivered sub-batch) under the
@@ -199,16 +217,41 @@ class Simulator {
   struct BudgetProbe {
     bool fits = true;
     std::uint64_t machine = 0;
-    std::uint64_t needed_words = 0;    // resident + delivered
-    std::uint64_t resident_words = 0;  // resident component
+    std::uint64_t needed_words = 0;    // resident + delivered (spike-scaled)
+    std::uint64_t resident_words = 0;  // resident component (raw shard)
     std::uint64_t budget_words = 0;    // effective per-machine budget
+    // Smallest claim any leaf still carrying one of this machine's deltas
+    // can make: claim(resident + kWordsPerDelta), spike-scaled at the
+    // probe round.  The scheduler's fixable-by-splitting test compares
+    // THIS against the budget — with no injector it is exactly
+    // resident_words + kWordsPerDelta.
+    std::uint64_t min_leaf_words = 0;
   };
   BudgetProbe probe(const RoutedBatch& routed, const VertexSketches& sketches);
+
+  // Generic probe over an explicit per-machine resident vector (one entry
+  // per machine; empty = all zero) — the seam that lets non-sketch front
+  // ends (AKLY sampler shards) opt into the adaptive batch scheduler.
+  BudgetProbe probe(const RoutedBatch& routed,
+                    std::span<const std::uint64_t> resident);
 
   // Records one batch-scheduler bisection in stats() (called by
   // mpc::BatchScheduler; the matching control-round charge lands on the
   // cluster under "<label>/scheduler-split").
   void note_scheduler_split() { ++stats_.scheduler_splits; }
+
+  // Attaches a deterministic fault plan (nullptr = none, the default).
+  // With an injector attached, every sketch delivery runs transactionally
+  // (VertexSketches::begin_transaction bracketing the grid): a crash
+  // window rejects the delivery pre-charge, a fired cell fault loses one
+  // grid cell and rolls the whole batch back post-charge — both surface as
+  // TransientFault — and budget spikes scale the affected machine's claim
+  // in every gate and probe.  An attached EMPTY plan never fires and
+  // leaves sketches, ledger, and stats byte-identical to no injector at
+  // all.  The injector must outlive the simulator; attaching does not
+  // transfer ownership.
+  void attach_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  const FaultInjector* fault_injector() const { return injector_; }
 
   std::uint64_t scratch_words() const { return scratch_words_; }
   unsigned grid_threads() const { return grid_threads_; }
@@ -216,12 +259,31 @@ class Simulator {
   const Stats& stats() const { return stats_; }
 
  private:
-  // Shared pre-flight: validates the order permutation, folds the
-  // per-machine resident words (empty span = all zero), enforces the
-  // budget (throw or record), charges the delivery, and updates the
-  // serial half of Stats.  Returns normally iff the batch may execute.
+  // Pre-flight, split so the sketch path can open its transaction between
+  // the gates (zero mutation on throw) and the charge:
+  //   fault_gate    — rejects the delivery while a target machine is in a
+  //                   crash window (throws TransientFault, nothing charged);
+  //   budget_gate   — the spike-scaled budget pre-scan: strict throws
+  //                   MemoryBudgetExceeded, non-strict records overruns;
+  //   charge_delivery — charge_routed + resident ledger record + the
+  //                   serial Stats fold.
+  // preflight() chains all three (the MachineStep path).
+  void fault_gate(const RoutedBatch& routed, const std::string& label);
+  void budget_gate(const RoutedBatch& routed, const std::string& label,
+                   std::span<const std::uint64_t> resident);
+  void charge_delivery(const RoutedBatch& routed, const std::string& label,
+                       std::span<const std::uint64_t> resident);
   void preflight(const RoutedBatch& routed, const std::string& label,
                  std::span<const std::uint64_t> resident);
+  // One machine's spike-scaled memory claim at the current cluster round.
+  std::uint64_t claim_words(std::uint64_t machine, std::uint64_t words) const;
+  // Serial pre-scan of this batch's cell-step window against the fault
+  // plan: consumes and reports the FIRST matching cell fault (later faults
+  // in the window stay armed for the retry, which re-scans the same window
+  // because cell_steps only advances on success).  Returns false when no
+  // fault fires.
+  bool scan_cell_faults(const RoutedBatch& routed, unsigned banks,
+                        std::uint64_t* fault_machine, unsigned* fault_bank);
   // Folds (with memoization) each machine's resident sketch-shard words
   // into resident_scratch_ and returns it.
   std::span<const std::uint64_t> resident_fold(const VertexSketches& sketches,
@@ -234,15 +296,19 @@ class Simulator {
   Cluster& cluster_;
   std::uint64_t scratch_words_;
   unsigned grid_threads_;
+  FaultInjector* injector_ = nullptr;  // not owned; nullptr = no faults
   Stats stats_;
   std::unique_ptr<ThreadPool> pool_;  // lazily created for grid_threads > 1
   std::vector<std::uint64_t> order_scratch_;     // ascending ids, reused
   std::vector<char> seen_scratch_;               // permutation check, reused
   std::vector<std::uint64_t> resident_scratch_;  // [machine], reused
   ExecPlan plan_;  // the shared grid executor, buffers reused
-  // Resident-fold memo: pages are never freed, so the per-machine resident
-  // distribution changes only when the allocation watermark grows — the
-  // O(n)-scan fold is re-run only then (O(banks * stores) to check).
+  std::uint64_t fault_step_scratch_ = 0;  // step id of the last fired fault
+  // Resident-fold memo: the per-machine resident distribution changes only
+  // when the allocation watermark moves — growth from ingest, or the exact
+  // restoration of a rollback (which returns both the watermark and the
+  // distribution to the cached pre-batch state) — so the O(n)-scan fold is
+  // re-run only on a changed watermark (O(banks * stores) to check).
   const VertexSketches* resident_cache_sketches_ = nullptr;
   std::uint64_t resident_cache_words_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "sketch/arena.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace streammpc {
@@ -80,6 +82,98 @@ void BankArena::prepare_pages(VertexId v, unsigned depth) {
   for (unsigned j = hot_levels_; j <= depth && j < levels_; ++j) {
     page_for(overflow_store(j), v, cells_per_level_);
   }
+}
+
+void BankArena::snap_begin_store(StoreSnap& snap, const Store& store) {
+  snap.watermark = store.pages;
+  snap.had_map = !store.page_of.empty();
+  snap.saved_mark.assign(store.pages, 0);
+  snap.saved_pages.clear();
+  snap.saved_w.clear();
+  snap.saved_s.clear();
+  snap.saved_fp.clear();
+  snap.fresh_candidates.clear();
+}
+
+void BankArena::snap_save_page(StoreSnap& snap, const Store& store, VertexId v,
+                               std::size_t cells) {
+  if (store.page_of.empty() || store.page_of[v] == kNoPage) {
+    // No page yet: any page this vertex acquires lies past the watermark
+    // and is deallocated wholesale on rollback.  Duplicates are harmless
+    // (the rollback reset is idempotent).
+    snap.fresh_candidates.push_back(v);
+    return;
+  }
+  const std::uint32_t page = store.page_of[v];
+  if (snap.saved_mark[page]) return;  // first save wins — it IS the pre-image
+  snap.saved_mark[page] = 1;
+  snap.saved_pages.push_back(page);
+  const std::size_t base = static_cast<std::size_t>(page) * cells;
+  snap.saved_w.insert(snap.saved_w.end(), store.w.begin() + base,
+                      store.w.begin() + base + cells);
+  snap.saved_s.insert(snap.saved_s.end(), store.s.begin() + base,
+                      store.s.begin() + base + cells);
+  snap.saved_fp.insert(snap.saved_fp.end(), store.fp.begin() + base,
+                       store.fp.begin() + base + cells);
+}
+
+void BankArena::snap_rollback_store(StoreSnap& snap, Store& store,
+                                    std::size_t cells) {
+  for (std::size_t i = 0; i < snap.saved_pages.size(); ++i) {
+    const std::size_t dst =
+        static_cast<std::size_t>(snap.saved_pages[i]) * cells;
+    const std::size_t src = i * cells;
+    std::copy(snap.saved_w.begin() + src, snap.saved_w.begin() + src + cells,
+              store.w.begin() + dst);
+    std::copy(snap.saved_s.begin() + src, snap.saved_s.begin() + src + cells,
+              store.s.begin() + dst);
+    std::copy(snap.saved_fp.begin() + src, snap.saved_fp.begin() + src + cells,
+              store.fp.begin() + dst);
+  }
+  if (!store.page_of.empty()) {
+    for (const VertexId v : snap.fresh_candidates) {
+      if (store.page_of[v] != kNoPage && store.page_of[v] >= snap.watermark)
+        store.page_of[v] = kNoPage;
+    }
+  }
+  store.pages = snap.watermark;
+  const std::size_t size = static_cast<std::size_t>(store.pages) * cells;
+  store.w.resize(size);
+  store.s.resize(size);
+  store.fp.resize(size);
+  if (!snap.had_map) store.page_of.clear();
+}
+
+void BankArena::snapshot_begin() {
+  SMPC_CHECK_MSG(!txn_active_, "nested arena transactions are not supported");
+  txn_active_ = true;
+  snap_begin_store(hot_snap_, hot_);
+  if (overflow_snap_.size() != overflow_.size())
+    overflow_snap_.resize(overflow_.size());
+  for (std::size_t i = 0; i < overflow_.size(); ++i)
+    snap_begin_store(overflow_snap_[i], overflow_[i]);
+}
+
+void BankArena::snapshot_pages(VertexId v, unsigned depth) {
+  SMPC_CHECK(txn_active_);
+  snap_save_page(hot_snap_, hot_, v, hot_cells_);
+  for (unsigned j = hot_levels_; j <= depth && j < levels_; ++j) {
+    snap_save_page(overflow_snap_[j - hot_levels_], overflow_store(j), v,
+                   cells_per_level_);
+  }
+}
+
+void BankArena::rollback_pages() {
+  SMPC_CHECK_MSG(txn_active_, "rollback_pages without snapshot_begin");
+  snap_rollback_store(hot_snap_, hot_, hot_cells_);
+  for (std::size_t i = 0; i < overflow_.size(); ++i)
+    snap_rollback_store(overflow_snap_[i], overflow_[i], cells_per_level_);
+  txn_active_ = false;
+}
+
+void BankArena::snapshot_commit() {
+  SMPC_CHECK_MSG(txn_active_, "snapshot_commit without snapshot_begin");
+  txn_active_ = false;
 }
 
 std::uint64_t BankArena::resident_words(VertexId lo, VertexId hi) const {

@@ -66,6 +66,34 @@ class BankArena {
   // one word of rounding per block.
   std::uint64_t resident_words(VertexId lo, VertexId hi) const;
 
+  // --- transactional ingest (fault tolerance, see mpc/fault_injector.h) -----
+  // Brackets one batch's page preparation + apply pipeline so a faulted or
+  // over-budget machine's partial grid work can be rolled back instead of
+  // poisoning the arena.  Protocol, per batch:
+  //
+  //   snapshot_begin();                       // record page watermarks
+  //   snapshot_pages(v, depth) per endpoint;  // save pre-images, mirror of
+  //                                           // the prepare_pages pass
+  //   ...prepare_pages + apply as usual...
+  //   rollback_pages() or snapshot_commit();
+  //
+  // snapshot_pages saves the pre-image cells of every already-allocated
+  // page an apply(v, <= depth) would touch (first save wins; all saves
+  // happen before any apply, so every saved image is the true pre-batch
+  // state) and remembers v as a fresh-page candidate otherwise.  Pages
+  // allocated after snapshot_begin are recognized by the watermark, so
+  // rollback restores saved images, truncates each store back to its
+  // watermark, and clears the fresh candidates' page-map entries — leaving
+  // the arena byte-identical to the snapshot point.  The contract that
+  // makes this exact is the grid discipline prepare_pages already
+  // guarantees: every page the batch touches is allocated during the
+  // preparation pass over exactly the (vertex, depth) set the snapshot
+  // walked.
+  void snapshot_begin();
+  void snapshot_pages(VertexId v, unsigned depth);
+  void rollback_pages();
+  void snapshot_commit();
+
   // Element-wise sum of the vertices' cells into `out` (Lemma 3.5's S_A).
   // Resets `out` first and reuses its buffer — no allocation after the
   // first call with the same scratch sampler.
@@ -121,8 +149,27 @@ class BankArena {
     std::uint32_t pages = 0;
   };
 
+  // Per-store snapshot: the page watermark at snapshot_begin, saved
+  // pre-images of pages the batch will touch, and the vertices that may
+  // receive fresh (post-watermark) pages.
+  struct StoreSnap {
+    std::uint32_t watermark = 0;  // store.pages at snapshot_begin
+    bool had_map = false;         // page_of was populated at snapshot_begin
+    std::vector<char> saved_mark;          // [page < watermark] image saved
+    std::vector<std::uint32_t> saved_pages;  // pages with saved images
+    std::vector<std::int64_t> saved_w;       // images, `cells` per page
+    std::vector<__int128> saved_s;
+    std::vector<std::uint64_t> saved_fp;
+    std::vector<VertexId> fresh_candidates;  // had no page at snapshot time
+  };
+
   std::uint32_t page_for(Store& store, VertexId v, std::size_t cells);
   Store& overflow_store(unsigned level);
+  static void snap_begin_store(StoreSnap& snap, const Store& store);
+  static void snap_save_page(StoreSnap& snap, const Store& store, VertexId v,
+                             std::size_t cells);
+  static void snap_rollback_store(StoreSnap& snap, Store& store,
+                                  std::size_t cells);
 
   VertexId n_;
   unsigned levels_;
@@ -133,6 +180,9 @@ class BankArena {
   Store hot_;              // levels 0..hot_levels_-1, map sized on demand
   std::vector<Store> overflow_;  // [level - hot_levels_], maps lazily sized
   CoordPlan plan_;
+  bool txn_active_ = false;
+  StoreSnap hot_snap_;
+  std::vector<StoreSnap> overflow_snap_;  // lazily sized to overflow_.size()
 };
 
 }  // namespace streammpc

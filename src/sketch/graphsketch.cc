@@ -142,6 +142,51 @@ std::uint64_t VertexSketches::ingest_cell(std::uint64_t machine, unsigned bank,
   return applied;
 }
 
+void VertexSketches::begin_transaction(const mpc::RoutedBatch& routed,
+                                       ThreadPool* pool) {
+  const std::size_t count = routed.items.size();
+  // Same validate-and-encode pass as begin_routed_cells (which re-runs it
+  // identically afterwards) — a bad edge must throw before any page is
+  // saved, and the snapshot needs each item's depth.
+  coord_scratch_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Edge e = routed.items[i].delta.e;
+    SMPC_CHECK(e.u < e.v && e.v < n_);
+    coord_scratch_[i] = codec_.encode(e);
+  }
+  const auto snapshot_bank = [&](std::size_t b) {
+    BankArena& arena = arenas_[b];
+    const L0Params& params = params_[b];
+    arena.snapshot_begin();
+    for (std::size_t i = 0; i < count; ++i) {
+      const mpc::RoutedBatch::Item& item = routed.items[i];
+      if (item.delta.delta == 0 || item.endpoints == 0) continue;
+      const unsigned depth = params.depth_of(coord_scratch_[i]);
+      if (item.endpoints & mpc::RoutedBatch::kEndpointV)
+        arena.snapshot_pages(item.delta.e.v, depth);
+      if (item.endpoints & mpc::RoutedBatch::kEndpointU)
+        arena.snapshot_pages(item.delta.e.u, depth);
+    }
+  };
+  if (pool != nullptr && count >= kParallelBatchMin) {
+    pool->parallel_for(banks(), snapshot_bank);
+  } else {
+    for (unsigned b = 0; b < banks(); ++b) snapshot_bank(b);
+  }
+}
+
+void VertexSketches::rollback_transaction() {
+  for (BankArena& arena : arenas_) arena.rollback_pages();
+  // The prepared-cells state described a batch whose pages may no longer
+  // exist; force a fresh preparation pass before any further cell ingest.
+  cells_ready_batch_ = nullptr;
+  cells_ready_items_ = kCellsNotReady;
+}
+
+void VertexSketches::commit_transaction() {
+  for (BankArena& arena : arenas_) arena.snapshot_commit();
+}
+
 std::uint64_t VertexSketches::resident_words(std::uint64_t machine,
                                              const mpc::Cluster& cluster) const {
   const auto [first, last] = cluster.vertex_block(machine, n_);

@@ -127,6 +127,31 @@ class VertexSketches {
   std::uint64_t ingest_cell(std::uint64_t machine, unsigned bank,
                             const mpc::RoutedBatch& routed);
 
+  // --- transactional ingest (fault tolerance) --------------------------------
+  // Brackets the begin_routed_cells + ingest_cell pipeline of ONE routed
+  // batch so a faulted delivery's partial grid work can be undone:
+  //
+  //   begin_transaction(routed, pool);   // BEFORE begin_routed_cells: walks
+  //                                      // the batch in the same per-bank
+  //                                      // pattern as the preparation pass
+  //                                      // and snapshots every page it will
+  //                                      // touch (BankArena::snapshot_pages)
+  //   ...begin_routed_cells + cells...
+  //   rollback_transaction();            // arenas byte-identical to the
+  //                                      // snapshot point, cells invalidated
+  //   — or —
+  //   commit_transaction();              // drop the snapshot
+  //
+  // Banks share nothing, so the snapshot pass fans across `pool` exactly
+  // like the preparation pass.  Validation mirrors begin_routed_cells: a
+  // bad edge throws here, before any page is saved or allocated.  Cost is
+  // O(touched pages) words — paid only when the executor runs with a fault
+  // injector attached; untransacted ingest is unchanged.
+  void begin_transaction(const mpc::RoutedBatch& routed,
+                         ThreadPool* pool = nullptr);
+  void rollback_transaction();
+  void commit_transaction();
+
   // Words of sketch-shard state resident on `machine`: the arena pages (and
   // page-map share) of the vertex block the cluster's partitioner assigns
   // it, summed over banks.  This is the memory the machine holds *between*
