@@ -47,6 +47,27 @@ class DynamicBipartiteness {
   const DynamicConnectivity& base() const { return base_; }
   const DynamicConnectivity& double_cover() const { return cover_; }
 
+  // Serve-heavy path (core/query_cache.h): a consistent pair of base /
+  // double-cover snapshots taken at the same point in the batch sequence.
+  // The struct is a value — copies share the immutable snapshots, so any
+  // reader thread can answer from its copy while further batches apply.
+  struct Snapshot {
+    VertexId n = 0;
+    QueryCache::SnapshotPtr base;
+    QueryCache::SnapshotPtr cover;
+    bool is_bipartite() const {
+      return cover->components() == 2 * base->components();
+    }
+    bool is_component_bipartite(VertexId v) const {
+      return !cover->connected(v, n + v);
+    }
+    std::size_t num_components() const { return base->components(); }
+  };
+  // Writer-side (refreshes both nested caches when stale).
+  Snapshot snapshot() {
+    return Snapshot{n_, base_.snapshot(), cover_.snapshot()};
+  }
+
   // Execution-mode plumbing: config.connectivity.exec_mode selects Flat |
   // Routed | Simulated for both maintained instances; the cluster (and
   // hence the Simulator) is attached to the double cover, whose 2n-vertex

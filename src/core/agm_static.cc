@@ -28,9 +28,30 @@ void AgmStaticConnectivity::ingest_deltas() {
                 scheduler_.get());
 }
 
+void AgmStaticConnectivity::note_update(const Update& update) {
+  if (update.type != UpdateType::kInsert) {
+    // A deletion may split a component; only a fresh Boruvka can see the
+    // split (the repair-vs-rebuild rule, core/query_cache.h).
+    repairable_ = false;
+    pending_inserts_.clear();
+    query_cache_.invalidate();
+    return;
+  }
+  if (!repairable_) return;
+  // Past this the buffer rivals the sketches themselves — rebuilding is
+  // cheaper than repairing, and memory stays O(n).
+  if (pending_inserts_.size() >= 8 * static_cast<std::size_t>(n_) + 64) {
+    repairable_ = false;
+    pending_inserts_.clear();
+    return;
+  }
+  pending_inserts_.push_back(update.e);
+}
+
 void AgmStaticConnectivity::apply(const Update& update) {
   delta_scratch_.assign(
       1, EdgeDelta{update.e, update.type == UpdateType::kInsert ? +1 : -1});
+  note_update(update);
   ingest_deltas();
 }
 
@@ -40,6 +61,7 @@ void AgmStaticConnectivity::apply_batch(const Batch& batch) {
   for (const Update& u : batch) {
     delta_scratch_.push_back(
         EdgeDelta{u.e, u.type == UpdateType::kInsert ? +1 : -1});
+    note_update(u);
   }
   ingest_deltas();
   if (cluster_ != nullptr)
@@ -89,6 +111,38 @@ AgmStaticConnectivity::query_spanning_forest() {
   result.rounds =
       cluster_ != nullptr ? cluster_->rounds() - rounds_before : 0;
   return result;
+}
+
+QueryCache::SnapshotPtr AgmStaticConnectivity::snapshot() {
+  const std::uint64_t epoch = sketches_.mutation_epoch();
+  if (auto snap = query_cache_.acquire(epoch)) return snap;
+  if (repairable_) {
+    // Insert-only since the published snapshot: every buffered edge either
+    // merges two cached components (entering the forest) or is swallowed —
+    // no Boruvka, no sketch reads.
+    if (auto snap = query_cache_.repair(epoch, pending_inserts_)) {
+      pending_inserts_.clear();
+      return snap;
+    }
+  }
+  // Rebuild: one fresh Boruvka, then canonical min-vertex labels from its
+  // forest (ascending-v scan, so the first vertex reaching each DSU root
+  // is the component minimum).
+  QueryResult fresh = query_spanning_forest();
+  Dsu dsu(n_);
+  for (const Edge& e : fresh.forest) dsu.unite(e.u, e.v);
+  std::vector<VertexId> min_of_root(n_, kNoVertex);
+  std::vector<VertexId> labels(n_);
+  for (VertexId v = 0; v < n_; ++v) {
+    VertexId& m = min_of_root[dsu.find(v)];
+    if (m == kNoVertex) m = v;
+    labels[v] = m;
+  }
+  auto snap = query_cache_.publish(epoch, std::move(labels),
+                                   std::move(fresh.forest));
+  pending_inserts_.clear();
+  repairable_ = true;
+  return snap;
 }
 
 }  // namespace streammpc

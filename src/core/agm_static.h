@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/query_cache.h"
 #include "graph/types.h"
 #include "mpc/batch_scheduler.h"
 #include "mpc/cluster.h"
@@ -59,6 +60,20 @@ class AgmStaticConnectivity {
   // banks >= ~2 log2 n.
   QueryResult query_spanning_forest();
 
+  // Serve-heavy path (core/query_cache.h): the first query after a
+  // mutation runs the Boruvka above ONCE and publishes labels + forest as
+  // an immutable snapshot; point queries then cost one atomic load instead
+  // of O(log n) Boruvka levels.  Insert-only runs since the last publish
+  // are repaired with a local DSU pass over the buffered inserted edges
+  // (capped at ~8n, beyond which a rebuild is cheaper than the buffer);
+  // any deletion forces a rebuild.  Writer-side, like the updates.
+  QueryCache::SnapshotPtr snapshot();
+  // Point queries against the current snapshot (refreshing it if stale).
+  bool connected(VertexId u, VertexId v) { return snapshot()->connected(u, v); }
+  std::size_t num_components() { return snapshot()->components(); }
+  QueryCache& query_cache() { return query_cache_; }
+  const QueryCache& query_cache() const { return query_cache_; }
+
   std::uint64_t memory_words() const { return sketches_.allocated_words(); }
   const VertexSketches& sketches() const { return sketches_; }
   // Non-null iff constructed with kSimulated mode and a cluster.
@@ -69,6 +84,8 @@ class AgmStaticConnectivity {
  private:
   // Routes delta_scratch_ through the cluster when one is attached.
   void ingest_deltas();
+  // Folds one update into the repair buffer / repairability flag.
+  void note_update(const Update& update);
 
   VertexId n_;
   mpc::Cluster* cluster_;
@@ -82,6 +99,13 @@ class AgmStaticConnectivity {
   GroupCsr group_csr_;
   std::vector<L0Sampler> group_scratch_;
   std::vector<std::optional<Edge>> group_samples_;
+  // Serve-heavy query cache: edges inserted since the last published
+  // snapshot (repairable while no delete intervened and the buffer stays
+  // under its cap — this structure keeps no forest, so EVERY insert is a
+  // candidate repair edge, unlike DynamicConnectivity's accepted links).
+  QueryCache query_cache_;
+  std::vector<Edge> pending_inserts_;
+  bool repairable_ = true;
 };
 
 }  // namespace streammpc

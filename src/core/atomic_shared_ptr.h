@@ -1,0 +1,61 @@
+// A single-slot atomic shared_ptr publication point.
+//
+// Why not std::atomic<std::shared_ptr<T>>: libstdc++ 12's _Sp_atomic
+// releases the internal spinlock in load() with memory_order_relaxed, so
+// the reader's plain read of the stored pointer has no release edge to
+// the next store()'s pointer swap.  That is a formal data race (GCC
+// PR 104442) — benign on x86, but ThreadSanitizer flags it, and the
+// concurrency suite must run TSan-clean.  This is the same design —
+// pointer + control-block copy under a micro-spinlock, refcount drop of
+// the replaced value outside the critical section — with a conforming
+// acquire/release lock on both paths.
+//
+// Contract matches the query-cache publication pattern: one writer calls
+// store(); any number of readers call load().  The critical section is a
+// shared_ptr copy (one refcount increment), so readers never wait on the
+// writer's rebuild work, only on each other's pointer copies.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace streammpc {
+
+template <typename T>
+class AtomicSharedPtr {
+ public:
+  AtomicSharedPtr() = default;
+  AtomicSharedPtr(const AtomicSharedPtr&) = delete;
+  AtomicSharedPtr& operator=(const AtomicSharedPtr&) = delete;
+
+  std::shared_ptr<T> load() const {
+    lock();
+    std::shared_ptr<T> copy = ptr_;
+    unlock();
+    return copy;
+  }
+
+  void store(std::shared_ptr<T> next) {
+    lock();
+    ptr_.swap(next);
+    unlock();
+    // `next` (the replaced value) drops its reference here, outside the
+    // critical section — destruction of a retired snapshot never extends
+    // the readers' wait.
+  }
+
+ private:
+  void lock() const {
+    while (locked_.exchange(1, std::memory_order_acquire) != 0) {
+      while (locked_.load(std::memory_order_relaxed) != 0) {
+      }
+    }
+  }
+  void unlock() const { locked_.store(0, std::memory_order_release); }
+
+  mutable std::atomic<unsigned> locked_{0};
+  std::shared_ptr<T> ptr_;
+};
+
+}  // namespace streammpc

@@ -125,12 +125,21 @@ void DynamicConnectivity::apply_inserts(const std::vector<Update>& ins) {
     }
   }
   stats_.tree_inserts += links.size();
+  // Insert-only partition changes are exactly these accepted tree edges;
+  // remember them so the next snapshot() can repair instead of rebuild.
+  repair_links_.insert(repair_links_.end(), links.begin(), links.end());
   forest_.batch_link(links);
   relabel_trees_of(touched);
 }
 
 void DynamicConnectivity::apply_deletes(const std::vector<Update>& del) {
   stats_.deletes += del.size();
+  // A deletion may split a component, which no local repair can express —
+  // the next snapshot() must rebuild from labels_/forest_ (the
+  // repair-vs-rebuild rule, core/query_cache.h).
+  repairable_ = false;
+  repair_links_.clear();
+  query_cache_.invalidate();
 
   delta_scratch_.clear();
   for (const Update& u : del) delta_scratch_.push_back(EdgeDelta{u.e, -1});
@@ -285,6 +294,8 @@ void DynamicConnectivity::bootstrap(std::span<const Edge> edges) {
   }
   ingest_deltas("connectivity/bootstrap");
   stats_.tree_inserts += forest_edges.size();
+  repair_links_.insert(repair_links_.end(), forest_edges.begin(),
+                       forest_edges.end());
   forest_.batch_link(forest_edges);
   relabel_trees_of(touched);
   publish_usage();
@@ -303,14 +314,33 @@ std::vector<bool> DynamicConnectivity::batch_query(
   return out;
 }
 
+QueryCache::SnapshotPtr DynamicConnectivity::snapshot() {
+  const std::uint64_t epoch = sketches_.mutation_epoch();
+  if (auto snap = query_cache_.acquire(epoch)) return snap;
+  if (repairable_) {
+    // Insert-only since the published snapshot: merge the accepted tree
+    // edges into it locally — no forest walk, no relabel, no sketch reads.
+    if (auto snap = query_cache_.repair(epoch, repair_links_)) {
+      repair_links_.clear();
+      return snap;
+    }
+  }
+  auto snap = query_cache_.publish(epoch, labels_, spanning_forest());
+  repair_links_.clear();
+  repairable_ = true;
+  return snap;
+}
+
 std::vector<std::vector<VertexId>> DynamicConnectivity::components() {
   mpc::sort(cluster_, n_, "connectivity/report-components");
-  std::unordered_map<VertexId, std::size_t> index;
-  std::vector<std::vector<VertexId>> out;
-  for (VertexId v = 0; v < n_; ++v) {
-    const auto [it, fresh] = index.try_emplace(labels_[v], out.size());
-    if (fresh) out.emplace_back();
-    out[it->second].push_back(v);
+  // Materialized from the snapshot's CSR, which is built once per mutation
+  // epoch in the same deterministic first-appearance order this function
+  // used to recompute (hash-map regroup) on every call.
+  const auto snap = snapshot();
+  std::vector<std::vector<VertexId>> out(snap->components());
+  for (std::size_t g = 0; g < out.size(); ++g) {
+    const auto members = snap->component(g);
+    out[g].assign(members.begin(), members.end());
   }
   return out;
 }

@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/query_cache.h"
 #include "euler/tour_forest.h"
 #include "graph/types.h"
 #include "mpc/batch_scheduler.h"
@@ -111,8 +112,20 @@ class DynamicConnectivity {
       std::span<const std::pair<VertexId, VertexId>> pairs);
 
   // All components as vertex lists, keyed by their label, produced by
-  // sorting the label array (O(1) rounds, §1.1).
+  // sorting the label array (O(1) rounds, §1.1).  Served from the query
+  // snapshot's first-appearance CSR — built once per mutation epoch, not
+  // regrouped on every call.
   std::vector<std::vector<VertexId>> components();
+
+  // The serve-heavy query path (core/query_cache.h): returns the cached
+  // immutable snapshot when the sketches' mutation epoch still matches,
+  // repairs it with the pending accepted tree edges after insert-only
+  // batches, rebuilds from labels_/forest_ otherwise.  The returned
+  // snapshot answers connected/component_of/components from any thread;
+  // snapshot() itself is writer-side (same thread as apply_batch).
+  QueryCache::SnapshotPtr snapshot();
+  QueryCache& query_cache() { return query_cache_; }
+  const QueryCache& query_cache() const { return query_cache_; }
   const std::vector<VertexId>& labels() const { return labels_; }
   const EulerTourForest& forest() const { return forest_; }
   EulerTourForest& mutable_forest() { return forest_; }
@@ -163,6 +176,11 @@ class DynamicConnectivity {
   GroupCsr group_csr_;
   std::vector<L0Sampler> group_scratch_;
   std::vector<std::optional<Edge>> group_samples_;
+  // Serve-heavy query cache: tree edges accepted since the last published
+  // snapshot (the repair set), repairable while no delete intervened.
+  QueryCache query_cache_;
+  std::vector<Edge> repair_links_;
+  bool repairable_ = true;
   Stats stats_;
 };
 

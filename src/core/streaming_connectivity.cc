@@ -116,6 +116,7 @@ void StreamingConnectivity::insert_forest(VertexId u, VertexId v) {
   forest_adj_[e.u].insert(e.v);
   forest_adj_[e.v].insert(e.u);
   ++forest_edges_;
+  repair_links_.push_back(e);  // snapshot repair set (core/query_cache.h)
   const VertexId keep = std::min(labels_[u], labels_[v]);
   const VertexId losing = labels_[u] == keep ? v : u;
   relabel(collect_tree(losing), keep);
@@ -134,6 +135,11 @@ void StreamingConnectivity::erase(VertexId u, VertexId v) {
 }
 
 void StreamingConnectivity::erase_forest(VertexId u, VertexId v) {
+  // Any deletion voids snapshot repair (a split is not expressible as
+  // merges — the repair-vs-rebuild rule, core/query_cache.h).
+  repairable_ = false;
+  repair_links_.clear();
+  query_cache_.invalidate();
   const Edge e = make_edge(u, v);
   const auto it = forest_adj_[e.u].find(e.v);
   if (it == forest_adj_[e.u].end()) return;  // non-tree edge: done
@@ -185,6 +191,21 @@ std::vector<Edge> StreamingConnectivity::spanning_forest() const {
 
 bool StreamingConnectivity::is_tree_edge(Edge e) const {
   return forest_adj_[e.u].count(e.v) > 0;
+}
+
+QueryCache::SnapshotPtr StreamingConnectivity::snapshot() {
+  const std::uint64_t epoch = sketches_.mutation_epoch();
+  if (auto snap = query_cache_.acquire(epoch)) return snap;
+  if (repairable_) {
+    if (auto snap = query_cache_.repair(epoch, repair_links_)) {
+      repair_links_.clear();
+      return snap;
+    }
+  }
+  auto snap = query_cache_.publish(epoch, labels_, spanning_forest());
+  repair_links_.clear();
+  repairable_ = true;
+  return snap;
 }
 
 std::uint64_t StreamingConnectivity::memory_words() const {

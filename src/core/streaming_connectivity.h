@@ -32,6 +32,7 @@
 #include <span>
 #include <vector>
 
+#include "core/query_cache.h"
 #include "graph/types.h"
 #include "mpc/batch_scheduler.h"
 #include "mpc/cluster.h"
@@ -85,8 +86,17 @@ class StreamingConnectivity {
     return labels_[u] == labels_[v];
   }
   std::size_t num_components() const { return components_; }
+  const std::vector<VertexId>& labels() const { return labels_; }
   std::vector<Edge> spanning_forest() const;  // sorted
   bool is_tree_edge(Edge e) const;
+
+  // Serve-heavy path (core/query_cache.h): immutable snapshot of
+  // labels/forest/components for lock-free concurrent readers, repaired
+  // from the tree edges accepted since the last publish after insert-only
+  // runs, rebuilt after any deletion.  Writer-side, like the updates.
+  QueryCache::SnapshotPtr snapshot();
+  QueryCache& query_cache() { return query_cache_; }
+  const QueryCache& query_cache() const { return query_cache_; }
 
   struct Stats {
     std::uint64_t inserts = 0;
@@ -129,6 +139,11 @@ class StreamingConnectivity {
   std::size_t forest_edges_ = 0;
   unsigned next_bank_ = 0;
   L0Sampler cut_query_scratch_;  // reused merged sampler for deletions
+  // Serve-heavy query cache: tree edges accepted since the last published
+  // snapshot, repairable while no delete intervened.
+  QueryCache query_cache_;
+  std::vector<Edge> repair_links_;
+  bool repairable_ = true;
   Stats stats_;
 };
 

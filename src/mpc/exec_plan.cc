@@ -35,6 +35,11 @@ std::uint64_t ExecPlan::run(VertexSketches& sketches, ThreadPool* pool,
                             std::span<const std::uint64_t> order,
                             std::uint64_t skip_machine, unsigned skip_bank) {
   SMPC_CHECK_MSG(view_ != nullptr, "ExecPlan::run before lowering");
+  // Every ingest path chokes through here, so this is where query caches
+  // learn that their snapshots went stale (core/query_cache.h).  Bumped
+  // unconditionally — a skipped-cell (faulted) run mutates the other cells
+  // before the caller rolls them back, and the rollback bumps again.
+  sketches.note_mutation();
   const RoutedBatch& routed = *view_;
   const std::uint64_t machines = routed.machines();
   const unsigned banks = sketches.banks();

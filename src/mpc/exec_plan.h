@@ -73,6 +73,12 @@ class ExecPlan {
   // machine-major order from per-cell scratch slots, so the value is
   // identical for every schedule (it feeds Simulator::Stats directly).
   //
+  // As the single choke point every ingest path executes, run() also bumps
+  // `sketches.mutation_epoch()` before touching any arena — the query-cache
+  // invalidation hook (core/query_cache.h): a snapshot built at an earlier
+  // epoch can no longer be served as fresh, whichever mode, scheduler
+  // split, or fault retry delivered the batch.
+  //
   // `skip_machine`/`skip_bank` name one cell whose work is *lost* — the
   // Simulator's fault-injection hook (mpc/fault_injector.h): the cell is
   // not executed, modelling a machine that died mid-round.  The caller is

@@ -108,6 +108,34 @@ double ApproxMsf::forest_weight() const {
   return total;
 }
 
+std::uint64_t ApproxMsf::mutation_epoch() const {
+  std::uint64_t sum = 0;
+  for (const auto& level : levels_) sum += level->sketches().mutation_epoch();
+  return sum;
+}
+
+ApproxMsf::MsfSnapshotPtr ApproxMsf::snapshot() {
+  const std::uint64_t epoch = mutation_epoch();
+  if (built_epoch_ == epoch) {
+    if (auto snap = snapshot_.load()) {
+      ++cache_stats_.hits;
+      return snap;
+    }
+  }
+  ++cache_stats_.rebuilds;
+  auto snap = std::make_shared<MsfSnapshot>();
+  snap->version = next_version_++;
+  snap->epoch = epoch;
+  snap->forest = forest();
+  for (const auto& [e, w] : snap->forest) snap->forest_weight += w;
+  snap->weight_estimate = weight_estimate();
+  snap->components = num_components();
+  built_epoch_ = epoch;
+  MsfSnapshotPtr result = snap;
+  snapshot_.store(std::move(snap));
+  return result;
+}
+
 std::uint64_t ApproxMsf::memory_words() const {
   std::uint64_t total = 0;
   for (const auto& level : levels_) total += level->memory_words();

@@ -21,8 +21,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "core/atomic_shared_ptr.h"
 #include "core/dynamic_connectivity.h"
 #include "graph/types.h"
 #include "mpc/cluster.h"
@@ -58,6 +60,35 @@ class ApproxMsf {
 
   std::size_t num_components() const { return levels_.back()->num_components(); }
 
+  // Serve-heavy path (core/query_cache.h pattern): forest(), forest_weight()
+  // and weight_estimate() walk all t+1 levels per call; the snapshot runs
+  // that walk once per mutation and publishes the result immutably, so
+  // concurrent readers get estimate + forest with one atomic load.
+  struct MsfSnapshot {
+    std::uint64_t version = 0;
+    std::uint64_t epoch = 0;  // sum of the levels' sketch mutation epochs
+    double weight_estimate = 0.0;
+    double forest_weight = 0.0;
+    std::vector<std::pair<Edge, double>> forest;  // §7.2.2, bucket-capped
+    std::size_t components = 0;
+  };
+  using MsfSnapshotPtr = std::shared_ptr<const MsfSnapshot>;
+  // Writer-side: serves the cached snapshot while no level mutated,
+  // rebuilds (one full forest + estimate walk) otherwise.
+  MsfSnapshotPtr snapshot();
+  // Reader-side: last published snapshot, nullptr before the first
+  // snapshot() call.  Callable from any thread concurrently with the
+  // writer (core/atomic_shared_ptr.h).
+  MsfSnapshotPtr snapshot_view() const { return snapshot_.load(); }
+  // Sum of the levels' mutation epochs — monotone, so it identifies the
+  // batch-sequence point a snapshot reflects.
+  std::uint64_t mutation_epoch() const;
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t rebuilds = 0;
+  };
+  const CacheStats& cache_stats() const { return cache_stats_; }
+
   // Execution-mode plumbing: config.connectivity.exec_mode selects Flat |
   // Routed | Simulated for every level; the cluster (and hence the
   // Simulator) is attached to the top-threshold instance, whose bill
@@ -79,6 +110,11 @@ class ApproxMsf {
   mpc::Cluster* cluster_;
   std::vector<double> thresholds_;
   std::vector<std::unique_ptr<DynamicConnectivity>> levels_;
+  // Serve-heavy snapshot cache (single writer, concurrent readers).
+  AtomicSharedPtr<const MsfSnapshot> snapshot_;
+  std::uint64_t built_epoch_ = ~std::uint64_t{0};
+  std::uint64_t next_version_ = 1;
+  CacheStats cache_stats_;
 };
 
 }  // namespace streammpc

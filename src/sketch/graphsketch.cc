@@ -176,6 +176,7 @@ void VertexSketches::begin_transaction(const mpc::RoutedBatch& routed,
 }
 
 void VertexSketches::rollback_transaction() {
+  note_mutation();  // restored bytes are still a state-change event
   for (BankArena& arena : arenas_) arena.rollback_pages();
   // The prepared-cells state described a batch whose pages may no longer
   // exist; force a fresh preparation pass before any further cell ingest.

@@ -198,6 +198,21 @@ class VertexSketches {
     return arenas_[bank].extract(params_[bank], v);
   }
 
+  // --- mutation epoch (query-cache invalidation) -----------------------------
+  // Monotone count of sketch mutation events.  Bumped by the unified
+  // ingest pipeline (mpc::ExecPlan::run — the one choke point every flat,
+  // routed, simulated, scheduler-split, and fault-retry delivery executes)
+  // and by rollback_transaction() (a rollback restores the pre-batch
+  // bytes, but a consumer cannot know that without re-reading them, so a
+  // rolled-back delivery must never leave a stale-valid cache).  A
+  // QueryCache snapshot built at epoch E is servable as fresh iff
+  // mutation_epoch() is still E (see core/query_cache.h).
+  std::uint64_t mutation_epoch() const { return mutation_epoch_; }
+  // Records one mutation event.  Called by mpc::ExecPlan::run; public so
+  // the grid executor (and any future mutator) reaches it without
+  // friendship.
+  void note_mutation() { ++mutation_epoch_; }
+
   // --- memory accounting -----------------------------------------------------
   // Words actually allocated across all banks and vertices.
   std::uint64_t allocated_words() const;
@@ -231,6 +246,7 @@ class VertexSketches {
   const mpc::RoutedBatch* cells_ready_batch_ = nullptr;
   std::size_t cells_ready_items_ = kCellsNotReady;
   mpc::ExecPlan exec_plan_;  // the update_edges lowering, buffers reused
+  std::uint64_t mutation_epoch_ = 0;  // see mutation_epoch()
 };
 
 // Deterministic CSR grouping for sample_boundaries(): assigns items
