@@ -1,0 +1,56 @@
+// Validated parsing for numeric environment knobs (SMPC_SIM_THREADS,
+// SMPC_GUTTER_THREADS, ...).
+//
+// std::strtoul alone is the wrong tool for a config knob: it silently
+// accepts trailing garbage ("4x" -> 4), maps non-numeric input and "" to 0
+// without any error signal, saturates overflow to ULONG_MAX (which a
+// narrowing cast then truncates to an arbitrary value), and accepts
+// negative numbers by wrapping them.  A mistyped knob must be *rejected
+// loudly* and fall back to the configured default — not steer a CI matrix
+// or a thread pool to an unintended width.
+#pragma once
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+
+namespace streammpc {
+
+// Parses `value` as a strictly positive unsigned integer.  Returns nullopt
+// — rejecting the knob — when `value` is null, empty, has any non-digit
+// character (including a leading '-' or '+', whitespace, or trailing
+// garbage), is zero, or does not fit in `unsigned`.
+inline std::optional<unsigned> parse_positive_unsigned(const char* value) {
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(value, &end, 10);
+  if (errno == ERANGE || end == value || *end != '\0') return std::nullopt;
+  if (parsed == 0 || parsed > std::numeric_limits<unsigned>::max())
+    return std::nullopt;
+  return static_cast<unsigned>(parsed);
+}
+
+// Reads environment knob `name` as a positive thread/machine count.
+// Returns nullopt when the variable is unset; on a set-but-invalid value,
+// warns once on stderr (naming the knob and the rejected value) and
+// returns nullopt so the caller falls back to its configured default.
+inline std::optional<unsigned> env_positive_unsigned(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return std::nullopt;
+  const auto parsed = parse_positive_unsigned(value);
+  if (!parsed) {
+    std::fprintf(stderr,
+                 "streammpc: ignoring invalid %s='%s' (want a positive "
+                 "integer); using the configured default\n",
+                 name, value);
+  }
+  return parsed;
+}
+
+}  // namespace streammpc

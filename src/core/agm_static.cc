@@ -22,7 +22,38 @@ AgmStaticConnectivity::AgmStaticConnectivity(
   }
 }
 
+void AgmStaticConnectivity::enable_async_ingest(
+    const GutterIngestConfig& config) {
+  SMPC_CHECK_MSG(gutter_ == nullptr, "async ingest already enabled");
+  GutterIngestConfig gcfg = config;
+  if (gcfg.label == GutterIngestConfig{}.label)
+    gcfg.label = "agm/sketch-update";  // ledger parity with sync ingest
+  gutter_ = std::make_unique<GutterIngest>(n_, sketches_, gcfg, cluster_,
+                                           exec_mode_, simulator_.get(),
+                                           scheduler_.get());
+}
+
+void AgmStaticConnectivity::flush_ingest() {
+  if (gutter_ == nullptr) return;
+  try {
+    gutter_->flush();
+  } catch (...) {
+    poison_repair();
+    throw;
+  }
+}
+
+void AgmStaticConnectivity::poison_repair() {
+  repairable_ = false;
+  pending_inserts_.clear();
+  query_cache_.invalidate();
+}
+
 void AgmStaticConnectivity::ingest_deltas() {
+  if (gutter_ != nullptr) {
+    gutter_->submit(std::span<const EdgeDelta>(delta_scratch_));
+    return;
+  }
   routed_ingest(cluster_, n_, delta_scratch_, "agm/sketch-update", sketches_,
                 routed_scratch_, exec_mode_, simulator_.get(),
                 scheduler_.get());
@@ -51,25 +82,42 @@ void AgmStaticConnectivity::note_update(const Update& update) {
 void AgmStaticConnectivity::apply(const Update& update) {
   delta_scratch_.assign(
       1, EdgeDelta{update.e, update.type == UpdateType::kInsert ? +1 : -1});
+  // Ingest FIRST: a rejected delta (bad edge, strict budget refusal) must
+  // not leave a phantom edge in the repair buffer — a later repair would
+  // then disagree with a rebuild from the actual resident sketches.
+  try {
+    ingest_deltas();
+  } catch (...) {
+    poison_repair();
+    throw;
+  }
   note_update(update);
-  ingest_deltas();
 }
 
 void AgmStaticConnectivity::apply_batch(const Batch& batch) {
   if (cluster_ != nullptr) cluster_->begin_phase();
   delta_scratch_.clear();
-  for (const Update& u : batch) {
+  for (const Update& u : batch)
     delta_scratch_.push_back(
         EdgeDelta{u.e, u.type == UpdateType::kInsert ? +1 : -1});
-    note_update(u);
+  // Same ingest-before-note ordering as apply(): a throw mid-batch leaves
+  // an unknowable subset of the deltas resident, so poison instead of
+  // guessing which of the batch's edges are repair-safe.
+  try {
+    ingest_deltas();
+  } catch (...) {
+    poison_repair();
+    throw;
   }
-  ingest_deltas();
+  for (const Update& u : batch) note_update(u);
   if (cluster_ != nullptr)
     cluster_->set_usage("agm/sketches", sketches_.allocated_words());
 }
 
 AgmStaticConnectivity::QueryResult
 AgmStaticConnectivity::query_spanning_forest() {
+  // Flush-on-query: the Boruvka below reads the resident sketches.
+  flush_ingest();
   const std::uint64_t rounds_before =
       cluster_ != nullptr ? cluster_->rounds() : 0;
   QueryResult result;
@@ -114,6 +162,9 @@ AgmStaticConnectivity::query_spanning_forest() {
 }
 
 QueryCache::SnapshotPtr AgmStaticConnectivity::snapshot() {
+  // Flush-on-query: pending drains bump the mutation epoch as they merge,
+  // so the epoch must be settled before acquire/repair/publish read it.
+  flush_ingest();
   const std::uint64_t epoch = sketches_.mutation_epoch();
   if (auto snap = query_cache_.acquire(epoch)) return snap;
   if (repairable_) {

@@ -19,6 +19,7 @@
 
 #include "core/query_cache.h"
 #include "graph/types.h"
+#include "ingest/gutter_ingest.h"
 #include "mpc/batch_scheduler.h"
 #include "mpc/cluster.h"
 #include "mpc/simulator.h"
@@ -47,6 +48,18 @@ class AgmStaticConnectivity {
   // its per-machine delta loads are charged on the cluster's CommLedger.
   void apply(const Update& update);
   void apply_batch(const Batch& batch);
+
+  // Async ingest front door (ingest/gutter_ingest.h): after this, updates
+  // buffer in per-vertex-block gutters and drain through worker-built
+  // delta sketches; flushed automatically before every query.  A
+  // default-constructed label becomes "agm/sketch-update" so ledger
+  // charges land exactly where direct ingest puts them.
+  void enable_async_ingest(const GutterIngestConfig& config = {});
+  // Non-null once async ingest is enabled; exposes buffered()/stats().
+  const GutterIngest* gutter() const { return gutter_.get(); }
+  // Drains buffered updates (no-op when async ingest is off).  A throwing
+  // flush poisons the repair state: the next snapshot() rebuilds.
+  void flush_ingest();
 
   struct QueryResult {
     std::vector<Edge> forest;   // sampled spanning forest (sorted)
@@ -84,8 +97,13 @@ class AgmStaticConnectivity {
  private:
   // Routes delta_scratch_ through the cluster when one is attached.
   void ingest_deltas();
-  // Folds one update into the repair buffer / repairability flag.
+  // Folds one update into the repair buffer / repairability flag.  Called
+  // only AFTER the update's delta was accepted for delivery: a rejected
+  // update must never leave a phantom edge in the repair buffer.
   void note_update(const Update& update);
+  // Throw path: repair bookkeeping can no longer describe the resident
+  // sketches; force the next snapshot() to rebuild.
+  void poison_repair();
 
   VertexId n_;
   mpc::Cluster* cluster_;
@@ -106,6 +124,9 @@ class AgmStaticConnectivity {
   QueryCache query_cache_;
   std::vector<Edge> pending_inserts_;
   bool repairable_ = true;
+  // Declared last: the destructor's implicit flush must run while the
+  // sketches/cluster/simulator/scheduler above are still alive.
+  std::unique_ptr<GutterIngest> gutter_;
 };
 
 }  // namespace streammpc

@@ -50,6 +50,15 @@ DynamicConnectivity::DynamicConnectivity(VertexId n,
     scheduler_ = std::make_unique<mpc::BatchScheduler>(*cluster_, *simulator_,
                                                        config_.scheduler);
   }
+  if (config_.async_ingest) {
+    GutterIngestConfig gcfg = config_.gutter;
+    if (gcfg.label == GutterIngestConfig{}.label)
+      gcfg.label = "connectivity/sketch-update";  // ledger parity with sync
+    gutter_ = std::make_unique<GutterIngest>(n_, sketches_, gcfg, cluster_,
+                                             config_.exec_mode,
+                                             simulator_.get(),
+                                             scheduler_.get());
+  }
   for (VertexId v = 0; v < n; ++v) labels_[v] = v;
   publish_usage();
 }
@@ -70,6 +79,14 @@ void DynamicConnectivity::apply_batch(const Batch& batch) {
 }
 
 void DynamicConnectivity::ingest_deltas(const std::string& label) {
+  if (gutter_ != nullptr) {
+    // Async front door: buffer the deltas; gutter drains deliver the same
+    // bytes through the same ExecPlan::run choke point, under the label
+    // fixed at construction (delivery may charge under a later phase than
+    // submission — flush_ingest() bounds that).
+    gutter_->submit(std::span<const EdgeDelta>(delta_scratch_));
+    return;
+  }
   // Route the batch to the machines hosting the affected endpoint sketches
   // (§6.1) and charge the actual per-machine delta loads — not a flat
   // broadcast — on the cluster's CommLedger.  In kSimulated mode each
@@ -78,6 +95,21 @@ void DynamicConnectivity::ingest_deltas(const std::string& label) {
   routed_ingest(cluster_, n_, delta_scratch_, label, sketches_,
                 routed_scratch_, config_.exec_mode, simulator_.get(),
                 scheduler_.get());
+}
+
+void DynamicConnectivity::flush_ingest() {
+  if (gutter_ == nullptr) return;
+  try {
+    gutter_->flush();
+  } catch (...) {
+    // A failed delivery can leave the resident sketches partially updated
+    // (strict-mode throw mid-flush); anything derived from the previous
+    // sketch state is no longer trustworthy for local repair.
+    repairable_ = false;
+    repair_links_.clear();
+    query_cache_.invalidate();
+    throw;
+  }
 }
 
 void DynamicConnectivity::apply_inserts(const std::vector<Update>& ins) {
@@ -144,6 +176,9 @@ void DynamicConnectivity::apply_deletes(const std::vector<Update>& del) {
   delta_scratch_.clear();
   for (const Update& u : del) delta_scratch_.push_back(EdgeDelta{u.e, -1});
   ingest_deltas("connectivity/sketch-update");
+  // Replacement-edge sampling below reads the sketches: every buffered
+  // delta (earlier insert batches included) must be resident first.
+  flush_ingest();
 
   std::vector<Edge> cuts;
   std::vector<VertexId> touched;
@@ -315,6 +350,9 @@ std::vector<bool> DynamicConnectivity::batch_query(
 }
 
 QueryCache::SnapshotPtr DynamicConnectivity::snapshot() {
+  // Flush-on-query: buffered deltas bump the mutation epoch as they merge,
+  // so acquire/repair/publish must not race a pending drain's epoch bump.
+  flush_ingest();
   const std::uint64_t epoch = sketches_.mutation_epoch();
   if (auto snap = query_cache_.acquire(epoch)) return snap;
   if (repairable_) {

@@ -39,6 +39,7 @@
 #include "core/query_cache.h"
 #include "euler/tour_forest.h"
 #include "graph/types.h"
+#include "ingest/gutter_ingest.h"
 #include "mpc/batch_scheduler.h"
 #include "mpc/cluster.h"
 #include "mpc/simulator.h"
@@ -77,6 +78,19 @@ struct ConnectivityConfig {
   // MSF levels, the double cover) give each a distinct prefix so the
   // ledger sums rather than overwrites.
   std::string ledger_prefix = "connectivity";
+  // Async ingest front door (ingest/gutter_ingest.h): sketch deltas are
+  // buffered in per-vertex-block gutters and drained through worker-built
+  // delta sketches instead of one synchronous ExecPlan::run per batch.
+  // Flushed automatically before any sketch read (replacement-edge
+  // sampling, snapshot()) and by flush_ingest(); the resident sketch state
+  // after a flush is byte-identical to synchronous ingest of the same
+  // drain batches.  Labels/forest/queries are unaffected — only the sketch
+  // delta delivery is deferred.
+  bool async_ingest = false;
+  // Geometry/thread knobs for the gutter (used iff async_ingest).  A
+  // default-constructed label is replaced by "connectivity/sketch-update"
+  // so ledger charges land exactly where direct ingest puts them.
+  GutterIngestConfig gutter;
 };
 
 class DynamicConnectivity {
@@ -135,6 +149,14 @@ class DynamicConnectivity {
   // Non-null under the same condition; splits only when its resolved
   // policy is active (scheduler()->enabled()).
   const mpc::BatchScheduler* scheduler() const { return scheduler_.get(); }
+  // Non-null iff config.async_ingest; exposes buffered()/stats().
+  const GutterIngest* gutter() const { return gutter_.get(); }
+  // Drains every buffered sketch delta into the resident shard (no-op when
+  // async_ingest is off).  Called automatically before every sketch read;
+  // call it explicitly to observe delivery errors (strict budget
+  // rejection, scheduler exhaustion) at a deterministic point.  A throwing
+  // flush poisons the snapshot repair state: the next snapshot() rebuilds.
+  void flush_ingest();
 
   struct Stats {
     std::uint64_t batches = 0;
@@ -182,6 +204,9 @@ class DynamicConnectivity {
   std::vector<Edge> repair_links_;
   bool repairable_ = true;
   Stats stats_;
+  // Declared last: the destructor's implicit flush must run while the
+  // sketches/cluster/simulator/scheduler above are still alive.
+  std::unique_ptr<GutterIngest> gutter_;
 };
 
 // Cancels offsetting insert/delete pairs of the same edge and splits the

@@ -29,9 +29,38 @@ StreamingConnectivity::StreamingConnectivity(
 }
 
 void StreamingConnectivity::ingest(std::span<const EdgeDelta> deltas) {
+  if (gutter_ != nullptr) {
+    gutter_->submit(deltas);
+    return;
+  }
   routed_ingest(cluster_, n_, deltas, "streaming/sketch-update", sketches_,
                 routed_scratch_, exec_mode_, simulator_.get(),
                 scheduler_.get());
+}
+
+void StreamingConnectivity::enable_async_ingest(
+    const GutterIngestConfig& config) {
+  SMPC_CHECK_MSG(gutter_ == nullptr, "async ingest already enabled");
+  GutterIngestConfig gcfg = config;
+  if (gcfg.label == GutterIngestConfig{}.label)
+    gcfg.label = "streaming/sketch-update";  // ledger parity with sync
+  gutter_ = std::make_unique<GutterIngest>(n_, sketches_, gcfg, cluster_,
+                                           exec_mode_, simulator_.get(),
+                                           scheduler_.get());
+}
+
+void StreamingConnectivity::flush_ingest() {
+  if (gutter_ == nullptr) return;
+  try {
+    gutter_->flush();
+  } catch (...) {
+    // A failed delivery leaves the resident sketches in an unknowable
+    // partial state; void local snapshot repair.
+    repairable_ = false;
+    repair_links_.clear();
+    query_cache_.invalidate();
+    throw;
+  }
 }
 
 void StreamingConnectivity::apply(const Update& update) {
@@ -152,6 +181,9 @@ void StreamingConnectivity::erase_forest(VertexId u, VertexId v) {
   const auto zu = collect_tree(u);
   const auto zv = collect_tree(v);
 
+  // The cut query below reads the sketches: every buffered delta (this
+  // deletion's own -1 included) must be resident first.
+  flush_ingest();
   // Query the merged sketch of Z_u for a replacement edge across the cut
   // (Observation 4.3); rotate banks so consecutive deletions use fresh
   // randomness.
@@ -194,6 +226,9 @@ bool StreamingConnectivity::is_tree_edge(Edge e) const {
 }
 
 QueryCache::SnapshotPtr StreamingConnectivity::snapshot() {
+  // Flush-on-query: pending drains bump the mutation epoch as they merge,
+  // so the epoch must be settled before acquire/repair/publish read it.
+  flush_ingest();
   const std::uint64_t epoch = sketches_.mutation_epoch();
   if (auto snap = query_cache_.acquire(epoch)) return snap;
   if (repairable_) {

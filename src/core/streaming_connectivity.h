@@ -34,6 +34,7 @@
 
 #include "core/query_cache.h"
 #include "graph/types.h"
+#include "ingest/gutter_ingest.h"
 #include "mpc/batch_scheduler.h"
 #include "mpc/cluster.h"
 #include "mpc/simulator.h"
@@ -80,6 +81,20 @@ class StreamingConnectivity {
   // processing, with or without an attached cluster.
   void apply_stream(std::span<const Update> updates);
 
+  // Async ingest front door (ingest/gutter_ingest.h): after this, sketch
+  // deltas buffer in per-vertex-block gutters and drain through
+  // worker-built delta sketches; flushed automatically before every
+  // sketch read (cut queries, snapshot()).  Forest/label bookkeeping is
+  // unaffected — it never reads the sketches between flushes.  A
+  // default-constructed label becomes "streaming/sketch-update" so ledger
+  // charges land exactly where direct ingest puts them.
+  void enable_async_ingest(const GutterIngestConfig& config = {});
+  // Non-null once async ingest is enabled; exposes buffered()/stats().
+  const GutterIngest* gutter() const { return gutter_.get(); }
+  // Drains buffered deltas (no-op when async ingest is off).  A throwing
+  // flush poisons the repair state: the next snapshot() rebuilds.
+  void flush_ingest();
+
   // --- queries ---------------------------------------------------------------
   VertexId component_of(VertexId v) const { return labels_[v]; }
   bool same_component(VertexId u, VertexId v) const {
@@ -109,6 +124,7 @@ class StreamingConnectivity {
 
   std::uint64_t memory_words() const;
 
+  const VertexSketches& sketches() const { return sketches_; }
   // Non-null iff constructed with kSimulated mode and a cluster.
   const mpc::Simulator* simulator() const { return simulator_.get(); }
   // Non-null under the same condition (see BatchScheduler::enabled()).
@@ -145,6 +161,9 @@ class StreamingConnectivity {
   std::vector<Edge> repair_links_;
   bool repairable_ = true;
   Stats stats_;
+  // Declared last: the destructor's implicit flush must run while the
+  // sketches/cluster/simulator/scheduler above are still alive.
+  std::unique_ptr<GutterIngest> gutter_;
 };
 
 }  // namespace streammpc

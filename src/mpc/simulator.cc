@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "common/thread_pool.h"
 #include "mpc/fault_injector.h"
 #include "sketch/graphsketch.h"
@@ -27,10 +28,12 @@ std::string budget_message(std::uint64_t machine, std::uint64_t needed,
 
 unsigned resolve_grid_threads(unsigned configured) {
   if (configured != 0) return configured;
-  if (const char* env = std::getenv("SMPC_SIM_THREADS")) {
-    const unsigned long parsed = std::strtoul(env, nullptr, 10);
-    if (parsed >= 1) return static_cast<unsigned>(parsed);
-  }
+  // Validated knob (common/env.h): "0", "4x", "abc", "" and out-of-range
+  // values are rejected with a stderr warning instead of silently steering
+  // the grid width, and the ctor default (auto = hardware concurrency)
+  // applies as if the variable were unset.
+  if (const auto parsed = env_positive_unsigned("SMPC_SIM_THREADS"))
+    return *parsed;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }

@@ -23,6 +23,7 @@ std::uint32_t BankArena::page_for(Store& store, VertexId v,
   if (page == kNoPage) {
     page = store.pages++;
     store.page_of[v] = page;
+    store.owner.push_back(v);
     const std::size_t size = static_cast<std::size_t>(store.pages) * cells;
     store.w.resize(size, 0);
     store.s.resize(size, 0);
@@ -141,6 +142,7 @@ void BankArena::snap_rollback_store(StoreSnap& snap, Store& store,
   store.w.resize(size);
   store.s.resize(size);
   store.fp.resize(size);
+  store.owner.resize(store.pages);
   if (!snap.had_map) store.page_of.clear();
 }
 
@@ -257,6 +259,47 @@ void BankArena::merge_groups(const L0Params& params,
       if (touched) outs[g].set_active_levels(j + 1);
     }
   }
+}
+
+void BankArena::reset() {
+  SMPC_CHECK_MSG(!txn_active_, "reset during an arena transaction");
+  const auto reset_store = [](Store& store) {
+    // The owner reverse map names exactly the populated page-map entries,
+    // so the wipe costs O(pages) instead of O(n).
+    for (const VertexId v : store.owner) store.page_of[v] = kNoPage;
+    store.owner.clear();
+    store.pages = 0;
+    store.w.clear();  // page_for re-zeroes on growth; capacity retained
+    store.s.clear();
+    store.fp.clear();
+  };
+  reset_store(hot_);
+  for (Store& store : overflow_) reset_store(store);
+}
+
+void BankArena::merge_from(const BankArena& src) {
+  SMPC_CHECK_MSG(src.n_ == n_ && src.levels_ == levels_ &&
+                     src.hot_levels_ == hot_levels_ && src.rows_ == rows_ &&
+                     src.cells_per_level_ == cells_per_level_,
+                 "merge_from requires identical arena geometry");
+  const auto merge_store = [&](Store& dst, const Store& source,
+                               std::size_t cells) {
+    for (std::uint32_t p = 0; p < source.pages; ++p) {
+      const VertexId v = source.owner[p];
+      const std::size_t src_base = static_cast<std::size_t>(p) * cells;
+      const std::size_t dst_base =
+          static_cast<std::size_t>(page_for(dst, v, cells)) * cells;
+      for (std::size_t c = 0; c < cells; ++c) {
+        dst.w[dst_base + c] += source.w[src_base + c];
+        dst.s[dst_base + c] += source.s[src_base + c];
+        dst.fp[dst_base + c] =
+            Mersenne61::add(dst.fp[dst_base + c], source.fp[src_base + c]);
+      }
+    }
+  };
+  merge_store(hot_, src.hot_, hot_cells_);
+  for (std::size_t i = 0; i < overflow_.size(); ++i)
+    merge_store(overflow_[i], src.overflow_[i], cells_per_level_);
 }
 
 L0Sampler BankArena::extract(const L0Params& params, VertexId v) const {

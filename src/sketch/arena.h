@@ -118,6 +118,28 @@ class BankArena {
   // Copy of one vertex's sampler (zero sampler if the vertex is untouched).
   L0Sampler extract(const L0Params& params, VertexId v) const;
 
+  // --- scratch-arena support (the gutter drain path, src/ingest/) -----------
+  // Returns the arena to the all-empty state in O(allocated pages) time:
+  // only the page-map entries of vertices that actually own a page are
+  // cleared (each store tracks its pages' owners), and every cell buffer
+  // keeps its capacity.  This is what makes a per-drain scratch arena
+  // reusable — a full page-map wipe would cost O(n * banks) per drain.
+  // Not allowed inside an arena transaction.
+  void reset();
+
+  // Cell-wise merge of `src` (same geometry: same n and L0 shape/levels)
+  // into this arena: every page src holds is added into the owning
+  // vertex's page here — w and s by integer addition, fp by Mersenne-61
+  // addition, exactly apply()'s arithmetic.  Cell values are linear in the
+  // applied deltas, so ingesting batch A and then merging a scratch arena
+  // that absorbed batch B yields cell values identical to ingesting A ∪ B
+  // directly, in any order.  Pages missing here are allocated in src's
+  // first-touch order (after a begin_routed_cells preparation pass over
+  // the same items, no allocation happens and the page numbering matches
+  // direct ingest exactly).  Arenas of different banks share nothing, so
+  // per-bank merges may run concurrently.
+  void merge_from(const BankArena& src);
+
   // Hints the hot page-map entries of an upcoming edge's endpoints into
   // cache; the ingest loop calls this one edge ahead so the map lookups
   // in apply() overlap with the current edge's hash computation.
@@ -146,6 +168,7 @@ class BankArena {
     std::vector<std::int64_t> w;         // [page * cells + cell]
     std::vector<__int128> s;
     std::vector<std::uint64_t> fp;
+    std::vector<VertexId> owner;  // [page] -> owning vertex (reverse map)
     std::uint32_t pages = 0;
   };
 

@@ -1,0 +1,81 @@
+#include "sketch/delta_sketch.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "sketch/graphsketch.h"
+
+namespace streammpc {
+
+DeltaSketch::DeltaSketch(const VertexSketches& resident)
+    : resident_(&resident) {
+  arenas_.reserve(resident.banks());
+  for (unsigned b = 0; b < resident.banks(); ++b)
+    arenas_.emplace_back(resident.n(), resident.params(b));
+}
+
+std::uint64_t DeltaSketch::accumulate(const mpc::RoutedBatch& routed) {
+  const std::size_t count = routed.items.size();
+  const EdgeCoordCodec& codec = resident_->codec();
+  const VertexId n = resident_->n();
+  // Validate and encode every item before mutating anything.
+  coalesce_scratch_.clear();
+  coalesce_scratch_.reserve(count);
+  std::uint64_t live = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const mpc::RoutedBatch::Item& item = routed.items[i];
+    const Edge e = item.delta.e;
+    SMPC_CHECK(e.u < e.v && e.v < n);
+    const Coord c = codec.encode(e);
+    if (item.delta.delta == 0 || item.endpoints == 0) continue;
+    ++live;
+    coalesce_scratch_.push_back(
+        CoalescedItem{c, e, item.delta.delta, item.endpoints});
+  }
+  // Fold same-(edge, endpoint-mask) runs to their net delta; nets of zero
+  // vanish entirely.  Cell arithmetic is commutative and linear in the
+  // delta, so the sorted net application leaves cell values identical to
+  // the stream-order walk (see the header contract).
+  std::sort(coalesce_scratch_.begin(), coalesce_scratch_.end(),
+            [](const CoalescedItem& a, const CoalescedItem& b) {
+              return a.c != b.c ? a.c < b.c : a.endpoints < b.endpoints;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < coalesce_scratch_.size();) {
+    CoalescedItem item = coalesce_scratch_[i];
+    std::size_t j = i + 1;
+    for (; j < coalesce_scratch_.size() && coalesce_scratch_[j].c == item.c &&
+           coalesce_scratch_[j].endpoints == item.endpoints;
+         ++j)
+      item.delta += coalesce_scratch_[j].delta;
+    if (item.delta != 0) coalesce_scratch_[out++] = item;
+    i = j;
+  }
+  coalesce_scratch_.resize(out);
+  for (unsigned b = 0; b < banks(); ++b) {
+    BankArena& arena = arenas_[b];
+    const L0Params& params = resident_->params(b);
+    CoordPlan& plan = arena.plan_scratch();
+    for (std::size_t i = 0; i < out; ++i) {
+      const CoalescedItem& item = coalesce_scratch_[i];
+      if (i + 1 < out) arena.prefetch(coalesce_scratch_[i + 1].e);
+      params.plan_coord(item.c, item.delta, plan);
+      if (item.endpoints & mpc::RoutedBatch::kEndpointV)
+        arena.apply(item.e.v, item.c, item.delta, plan, /*negated=*/false);
+      if (item.endpoints & mpc::RoutedBatch::kEndpointU)
+        arena.apply(item.e.u, item.c, -item.delta, plan, /*negated=*/true);
+    }
+  }
+  // applied() reports the full batch — the delivery count must not depend
+  // on how much the coalescer happened to cancel.
+  const std::uint64_t total = live * banks();
+  applied_ += total;
+  return total;
+}
+
+void DeltaSketch::reset() {
+  for (BankArena& arena : arenas_) arena.reset();
+  applied_ = 0;
+}
+
+}  // namespace streammpc

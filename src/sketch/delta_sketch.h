@@ -1,0 +1,83 @@
+// Reusable scratch delta sketch for the async ingest front door
+// (src/ingest/gutter_ingest.h; ISSUE 8).
+//
+// A gutter drain must not touch the resident arenas from a worker thread —
+// the resident shard is single-writer (the query cache's snapshot-publish
+// seam depends on it).  Instead each drain job gets a DeltaSketch: a full
+// set of per-bank BankArenas mirroring the resident geometry (same codec,
+// same per-bank L0Params, hence the same hash functions) that starts empty
+// and absorbs ONLY the drained batch.  Because every cell is a linear
+// function of the applied deltas (w: integer sum, s: coordinate-weighted
+// sum, fp: Mersenne-61 sum), the resident state after merging a delta
+// sketch equals direct ingest of the same batch exactly — GraphStreamingCC
+// applies the same trick with one `delta_sketch` per worker thread.
+//
+// Reuse: reset() returns the arenas to empty in O(touched pages), so a
+// pool of DeltaSketch instances cycles through drains without re-paying
+// the O(n x banks) page-map allocation.
+//
+// Thread contract: an instance is confined to one thread at a time (a
+// worker during accumulate, the writer during the merge); it reads only
+// immutable geometry (codec/params) from the resident sketches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpc/comm_ledger.h"
+#include "sketch/arena.h"
+#include "sketch/coord.h"
+
+namespace streammpc {
+
+class VertexSketches;
+
+class DeltaSketch {
+ public:
+  // Mirrors `resident`'s geometry (n, banks, per-bank L0 params); holds a
+  // reference for codec/params access — `resident` must outlive this.
+  explicit DeltaSketch(const VertexSketches& resident);
+
+  unsigned banks() const { return static_cast<unsigned>(arenas_.size()); }
+  const BankArena& arena(unsigned bank) const { return arenas_[bank]; }
+
+  // Applies every routed item's owned-endpoint contributions into the
+  // scratch arenas — the worker-side half of a gutter drain.  Validates
+  // every edge before mutating anything (same contract as
+  // begin_routed_cells), then *coalesces*: deltas to the same edge (and
+  // endpoint mask) within the batch collapse to their net weight before
+  // any per-bank planning.  Every cell is linear in the delta (w and s are
+  // integer sums, fp a Mersenne-61 sum of delta * z^c), so applying the
+  // net once yields cell values identical to applying each delta in
+  // stream order — and a churn-heavy gutter (the same edge toggling
+  // within one drain window) skips almost all of its hashing.  Resident
+  // page numbering is unaffected: the writer's begin_routed_cells pass
+  // prepares pages from the uncoalesced batch.  Returns the per-cell
+  // applied count summed over machines x banks for the FULL batch — the
+  // same fold ExecPlan::run reports, coalesced or not — and accumulates
+  // it into applied().
+  std::uint64_t accumulate(const mpc::RoutedBatch& routed);
+
+  // Empties the arenas (O(touched pages)) and zeroes applied().
+  void reset();
+
+  // Total applied count across accumulate() calls since the last reset().
+  std::uint64_t applied() const { return applied_; }
+
+ private:
+  // One batch item after validation/encoding, then the unit the per-bank
+  // loops consume after same-edge runs are folded together.
+  struct CoalescedItem {
+    Coord c;
+    Edge e;
+    std::int64_t delta;
+    std::uint8_t endpoints;
+  };
+
+  const VertexSketches* resident_;
+  std::vector<BankArena> arenas_;
+  std::vector<CoalescedItem> coalesce_scratch_;
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace streammpc

@@ -45,6 +45,8 @@
 
 namespace streammpc {
 
+class DeltaSketch;
+
 namespace mpc {
 class BatchScheduler;
 class Cluster;
@@ -97,6 +99,24 @@ class VertexSketches {
   // routing changes the accounting, never the sketches.  Same
   // preconditions, thread-safety, and determinism as the flat overload.
   void update_edges(const mpc::RoutedBatch& routed);
+
+  // Gutter-drain delivery (src/ingest/gutter_ingest.h): merges a scratch
+  // delta sketch a worker thread accumulated from exactly the items of
+  // `routed`, through the same ExecPlan::run choke point as every other
+  // ingest path (epoch bump, canonical page preparation, then a cell-wise
+  // per-bank BankArena::merge_from instead of re-hashing).  Byte-identical
+  // to update_edges(routed) — merging is how the drained path stays
+  // conformant with direct ingest.  Returns the applied count (the
+  // ExecPlan::run fold, precomputed by DeltaSketch::accumulate).  Same
+  // thread-safety contract as update_edges.
+  std::uint64_t merge_delta(const mpc::RoutedBatch& routed,
+                            const DeltaSketch& delta);
+
+  // The merge half of merge_delta, called back by ExecPlan::run after the
+  // epoch bump and page preparation: folds every bank's scratch arena into
+  // the resident arena (banks share nothing, so the fold fans across
+  // `pool`).  Public for ExecPlan; front ends use merge_delta.
+  std::uint64_t merge_delta_cells(const DeltaSketch& delta, ThreadPool* pool);
 
   // --- (machine, bank) cell ingest: THE execution grid ----------------------
   // The primitive every ingest path lowers to (via mpc::ExecPlan): one

@@ -530,6 +530,79 @@ TEST(QueryCacheComponents, FirstAppearanceGroupOrderIsPinnedAndCached) {
   EXPECT_GT(dc.query_cache().stats().hits, hits_before);
 }
 
+// --- AGM repair-buffer cap and the ingest/note seam (ISSUE 8) ----------------
+
+TEST(QueryCacheAgmSeams, InsertBufferCapForcesRebuildNeverTruncatedRepair) {
+  // The AGM front end buffers EVERY insert as a candidate repair edge,
+  // capped at ~8n (past that the buffer rivals the sketches and memory
+  // would stop being O(n)).  Hitting the cap must flip the structure to
+  // rebuild-on-next-query: repairing from a truncated list would silently
+  // drop the overflowed edges from the served labels.
+  const VertexId n = 24;  // cap = 8n + 64 = 256 < C(24,2) = 276 edges
+  const std::size_t cap = 8 * static_cast<std::size_t>(n) + 64;
+  AgmStaticConnectivity agm(n, sketch_config(n, 8801));
+  agm.snapshot();  // publish the all-singletons snapshot (rebuild #1)
+  ASSERT_EQ(agm.query_cache().stats().rebuilds, 1u);
+
+  Batch all_edges;
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) all_edges.push_back(insert_of(u, v));
+  ASSERT_GT(all_edges.size(), cap);
+  agm.apply_batch(all_edges);
+
+  const auto snap = agm.snapshot();
+  // Past the cap: a rebuild, not a repair from the truncated buffer.
+  EXPECT_EQ(agm.query_cache().stats().rebuilds, 2u);
+  EXPECT_EQ(agm.query_cache().stats().repairs, 0u);
+  // The served snapshot reflects the FULL insert set (one component), not
+  // whatever prefix fit in the buffer.
+  EXPECT_EQ(snap->components(), 1u);
+  for (VertexId v = 0; v < n; ++v) EXPECT_EQ(snap->labels[v], 0u);
+
+  // Control: under the cap, insert-only batches still repair.
+  AgmStaticConnectivity small(n, sketch_config(n, 8802));
+  small.snapshot();
+  small.apply_batch({insert_of(0, 1), insert_of(2, 3)});
+  small.snapshot();
+  EXPECT_EQ(small.query_cache().stats().repairs, 1u);
+  EXPECT_EQ(small.query_cache().stats().rebuilds, 1u);
+}
+
+TEST(QueryCacheAgmSeams, RejectedUpdateLeavesNoPhantomRepairEdge) {
+  // Regression: apply() used to call note_update BEFORE ingesting, so an
+  // update the ingest rejects (invalid edge, strict budget refusal) left
+  // a phantom edge in the repair buffer — the next repair then served
+  // connectivity the resident sketches never saw.  Ingest-first + poison
+  // on throw forces the next snapshot to rebuild from real state.
+  const VertexId n = 16;
+  AgmStaticConnectivity agm(n, sketch_config(n, 8901));
+  agm.apply_batch({insert_of(0, 1)});
+  agm.snapshot();
+  const auto rebuilds_before = agm.query_cache().stats().rebuilds;
+
+  // An out-of-universe endpoint: ingest throws, nothing reaches the
+  // sketches, and the repair buffer must not remember the edge.
+  EXPECT_THROW(agm.apply(insert_of(2, n + 5)), CheckError);
+  const auto snap = agm.snapshot();
+  EXPECT_EQ(agm.query_cache().stats().rebuilds, rebuilds_before + 1);
+  // Vertex 2 is still a singleton — no phantom connectivity.
+  EXPECT_FALSE(snap->connected(0, 2));
+  EXPECT_EQ(snap->labels[2], 2u);
+  EXPECT_TRUE(snap->connected(0, 1));
+
+  // Same seam through the batch path.  Flat ingest validates every item
+  // before touching a page (begin_routed_cells), so the whole batch —
+  // valid edge {4,5} included — is rejected with the arenas untouched;
+  // the old note-first ordering would have buffered BOTH edges as repair
+  // candidates anyway.
+  Batch bad = {insert_of(4, 5), insert_of(3, n + 9)};
+  EXPECT_THROW(agm.apply_batch(bad), CheckError);
+  const auto snap2 = agm.snapshot();
+  EXPECT_GT(agm.query_cache().stats().rebuilds, rebuilds_before + 1);
+  EXPECT_FALSE(snap2->connected(4, 5));
+  EXPECT_EQ(snap2->labels[3], 3u);
+}
+
 // --- layered structures ------------------------------------------------------
 
 TEST(QueryCacheLayers, BipartitenessPairedSnapshotTracksOddCycles) {
