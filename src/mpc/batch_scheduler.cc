@@ -16,6 +16,8 @@ SplitPolicy resolve_policy(SplitPolicy configured) {
   if (configured != SplitPolicy::kAuto) return configured;
   if (const char* env = std::getenv("SMPC_SCHED")) {
     if (std::strcmp(env, "bisect") == 0) return SplitPolicy::kBisect;
+    if (std::strcmp(env, "proportional") == 0)
+      return SplitPolicy::kProportional;
   }
   return SplitPolicy::kNone;
 }
@@ -74,7 +76,7 @@ void BatchScheduler::execute_chunk(std::span<const EdgeDelta> deltas,
                                    std::uint32_t depth) {
   for (;;) {
     cluster_.route_batch(deltas, universe, routed_);
-    if (policy_ != SplitPolicy::kBisect) break;
+    if (!enabled()) break;
     const Simulator::BudgetProbe report =
         sketches ? simulator_.probe(routed_, *sketches)
                  : probe_target(*target);
@@ -106,6 +108,21 @@ void BatchScheduler::execute_chunk(std::span<const EdgeDelta> deltas,
         stats_.split_log.push_back(Split{offset, deltas.size(), depth,
                                          report.machine, report.needed_words,
                                          report.budget_words});
+      }
+      if (policy_ == SplitPolicy::kProportional) {
+        // Load-proportional cut: size the left chunk so the offending
+        // machine's delivered load fits its remaining budget, then keep
+        // walking the remainder at the SAME depth — the split tree is a
+        // comb whose spine is this loop, so a skewed batch costs
+        // ~load/budget deliveries instead of a binary descent.  The left
+        // chunk re-probes (other machines, or resident growth, may still
+        // split it further).
+        const std::size_t cut = proportional_cut(deltas, universe, report);
+        execute_chunk(deltas.first(cut), universe, label, sketches, target,
+                      offset, depth + 1);
+        deltas = deltas.subspan(cut);
+        offset += cut;
+        continue;
       }
       // Deterministic bisection at floor(size / 2).  The left half runs
       // to completion (its pages allocate, growing the resident shards)
@@ -174,6 +191,45 @@ void BatchScheduler::deliver_chunk(const std::string& label,
                                  oom.resident_words());
     }
   }
+}
+
+std::size_t BatchScheduler::proportional_cut(
+    std::span<const EdgeDelta> deltas, std::uint64_t universe,
+    const Simulator::BudgetProbe& report) const {
+  // The probe's claim is spike-scaled; recover the machine's allowed RAW
+  // words from the ratio (claims are proportional in the raw words, so
+  // raw_total * budget / needed is the raw volume that would just fit).
+  // Any residual approximation only shifts where the next probe lands —
+  // the left chunk is re-probed, so bytes and determinism are unaffected.
+  const std::uint64_t raw_load = routed_.load_words[report.machine];
+  const std::uint64_t raw_total = report.resident_words + raw_load;
+  const std::uint64_t needed = std::max<std::uint64_t>(report.needed_words, 1);
+  const std::uint64_t allowed_raw = static_cast<std::uint64_t>(
+      static_cast<unsigned __int128>(raw_total) * report.budget_words /
+      needed);
+  const std::uint64_t allowed_load =
+      allowed_raw > report.resident_words
+          ? allowed_raw - report.resident_words
+          : 0;
+  // Walk the chunk accumulating the offending machine's prefix load (each
+  // delta with an endpoint it hosts delivers kWordsPerDelta words to it —
+  // one CSR item whether one or both endpoints land there, matching
+  // route_batch's accounting) and cut just before the budget crossing.
+  std::uint64_t prefix = 0;
+  std::size_t cut = deltas.size();
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    const Edge e = deltas[i].e;
+    if (cluster_.machine_of(e.u, universe) == report.machine ||
+        cluster_.machine_of(e.v, universe) == report.machine) {
+      prefix += RoutedBatch::kWordsPerDelta;
+      if (prefix > allowed_load) {
+        cut = i;
+        break;
+      }
+    }
+  }
+  // The chunk must actually split: at least one delta on each side.
+  return std::clamp<std::size_t>(cut, 1, deltas.size() - 1);
 }
 
 void BatchScheduler::do_grow(const std::string& label,

@@ -186,7 +186,10 @@ class BatchScheduler {
 
   // Whether this scheduler actually splits; with kNone it is a transparent
   // pass-through to Simulator::execute (and routed_ingest skips it).
-  bool enabled() const { return policy_ == SplitPolicy::kBisect; }
+  bool enabled() const {
+    return policy_ == SplitPolicy::kBisect ||
+           policy_ == SplitPolicy::kProportional;
+  }
   SplitPolicy policy() const { return policy_; }
 
   // Routes `deltas` under the vertex universe [0, universe) and executes
@@ -222,6 +225,14 @@ class BatchScheduler {
                      const Target* target);
   // Probes the current `routed_` chunk against the target's resident words.
   Simulator::BudgetProbe probe_target(const Target& target);
+  // kProportional's cut point: the largest prefix of `deltas` whose load on
+  // the offending machine still fits the budget headroom left after its
+  // resident shard (scaled out of the probe's spike-adjusted claim), clamped
+  // to [1, size - 1].  Deterministic — a pure function of the chunk, the
+  // geometry, and the probe.
+  std::size_t proportional_cut(std::span<const EdgeDelta> deltas,
+                               std::uint64_t universe,
+                               const Simulator::BudgetProbe& report) const;
   // The machine-growing step: charge the control + shuffle rounds under
   // "<label>/grow-shuffle", double the cluster, record the re-partitioned
   // resident volume on the ledger.

@@ -38,11 +38,19 @@ enum class ExecMode : std::uint8_t { kFlat, kRouted, kSimulated };
 //             rounds honestly (the batch-dynamic MPC discipline of
 //             Nowicki–Onak, arXiv:2002.07800: batches are sized so that
 //             resident + delivered stays under s).
+//   kProportional — cut where the offending machine's prefix load crosses
+//             its remaining budget instead of at floor(size / 2): the left
+//             chunk is sized to fit that machine in ONE delivery, and the
+//             scheduler walks the remainder the same way, so a skewed
+//             batch (one hot machine) costs ~load/budget deliveries
+//             instead of bisect's full binary descent — fewer control and
+//             retry rounds, identical final bytes (linearity).
 //   kAuto   — resolve from the SMPC_SCHED environment variable at
-//             scheduler construction ("bisect" enables splitting; anything
-//             else, or unset, means kNone).  The CI gate runs the mpc
-//             conformance matrix once with SMPC_SCHED=bisect.
-enum class SplitPolicy : std::uint8_t { kAuto, kNone, kBisect };
+//             scheduler construction ("bisect" / "proportional" select a
+//             splitting policy; anything else, or unset, means kNone).
+//             The CI gate runs the mpc conformance matrix once with
+//             SMPC_SCHED=bisect.
+enum class SplitPolicy : std::uint8_t { kAuto, kNone, kBisect, kProportional };
 
 // How the scheduler reacts when splitting cannot help — the offending
 // machine's *resident shard* alone exceeds the budget, so only

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <thread>
+#include <utility>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "common/random.h"
 #include "mpc/batch_scheduler.h"
 #include "mpc/cluster.h"
@@ -17,19 +19,43 @@ namespace {
 // the cell-parallel win; single updates always take the serial path.
 constexpr std::size_t kParallelBatchMin = 4;
 
-unsigned resolve_threads(unsigned configured, unsigned banks) {
+unsigned resolve_threads(unsigned configured, unsigned cells) {
   if (configured == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     configured = hw == 0 ? 1 : hw;
   }
-  return std::min(configured, banks);
+  return std::min(configured, cells);
+}
+
+// 0 = auto: the SMPC_SHARDS environment knob (validated like every other
+// numeric knob), unset/invalid = 1 (the 2-D grid).  Capped: the scratch
+// side costs banks x shards arenas, and stripes thinner than a few items
+// buy nothing.
+unsigned resolve_shards(unsigned configured) {
+  unsigned shards = configured;
+  if (shards == 0) shards = env_positive_unsigned("SMPC_SHARDS").value_or(1);
+  return std::min(shards, 256u);
+}
+
+// Stripe s's contiguous item sub-range of a machine's CSR slice
+// [begin, end).  Items, not vertices: a hot cell whose applies all hit one
+// vertex (a star hub) still splits evenly.
+std::pair<std::size_t, std::size_t> shard_slice(std::size_t begin,
+                                                std::size_t end,
+                                                unsigned shard,
+                                                unsigned shards) {
+  const std::size_t len = end - begin;
+  return {begin + len * shard / shards, begin + len * (shard + 1) / shards};
 }
 }  // namespace
 
 VertexSketches::VertexSketches(VertexId n, const GraphSketchConfig& config)
     : n_(n),
       codec_(n),
-      ingest_threads_(resolve_threads(config.ingest_threads, config.banks)) {
+      ingest_threads_(resolve_threads(
+          config.ingest_threads,
+          config.banks * resolve_shards(config.shards))),
+      shards_(resolve_shards(config.shards)) {
   SMPC_CHECK(config.banks >= 1);
   SplitMix64 sm(config.seed);
   params_.reserve(config.banks);
@@ -94,6 +120,7 @@ std::uint64_t VertexSketches::merge_delta_cells(const DeltaSketch& delta,
   // preparation pass before any further cell ingest.
   cells_ready_batch_ = nullptr;
   cells_ready_items_ = kCellsNotReady;
+  shard_cells_ready_ = false;
   return delta.applied();
 }
 
@@ -102,6 +129,7 @@ void VertexSketches::begin_routed_cells(const mpc::RoutedBatch& routed,
   const std::size_t count = routed.items.size();
   cells_ready_batch_ = nullptr;
   cells_ready_items_ = kCellsNotReady;
+  shard_cells_ready_ = false;
   // Validate and encode every item before any page is allocated, so a bad
   // edge throws with the arenas untouched (the same contract as
   // ingest_items).
@@ -170,6 +198,113 @@ std::uint64_t VertexSketches::ingest_cell(std::uint64_t machine, unsigned bank,
   return applied;
 }
 
+unsigned VertexSketches::plan_shards(std::size_t items) const {
+  return (shards_ > 1 && items >= kParallelBatchMin) ? shards_ : 1;
+}
+
+void VertexSketches::begin_shard_cells(const mpc::RoutedBatch& routed,
+                                       ThreadPool* pool) {
+  SMPC_CHECK_MSG(cells_ready_batch_ == &routed &&
+                     cells_ready_items_ == routed.items.size(),
+                 "begin_routed_cells must prepare this batch first");
+  shard_cells_ready_ = false;
+  if (shard_scratch_.empty()) {
+    shard_scratch_.reserve(static_cast<std::size_t>(banks()) * shards_);
+    for (unsigned b = 0; b < banks(); ++b) {
+      for (unsigned s = 0; s < shards_; ++s)
+        shard_scratch_.emplace_back(n_, params_[b]);
+    }
+  }
+  const std::uint64_t machines = routed.machines();
+  const std::size_t slots =
+      static_cast<std::size_t>(machines) * banks() * shards_;
+  if (shard_plans_.size() < slots) shard_plans_.resize(slots);
+  // Scratch page preparation, one independent task per (bank, shard).
+  // Tasks of the same (bank, shard) across machines share one scratch
+  // arena, so the task itself walks machines ascending over stripe s —
+  // a deterministic first-touch sequence (the apply tasks then allocate
+  // nothing and write disjoint pre-sized pages: machines own disjoint
+  // vertex blocks, so the 3-D grid stays race-free in any schedule).
+  const auto prepare_shard = [&](std::size_t flat) {
+    const unsigned b = static_cast<unsigned>(flat / shards_);
+    const unsigned s = static_cast<unsigned>(flat % shards_);
+    BankArena& scratch = shard_scratch_[flat];
+    scratch.reset();
+    const L0Params& params = params_[b];
+    for (std::uint64_t m = 0; m < machines; ++m) {
+      const auto [lo, hi] =
+          shard_slice(routed.offsets[m], routed.offsets[m + 1], s, shards_);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const mpc::RoutedBatch::Item& item = routed.items[i];
+        if (item.delta.delta == 0 || item.endpoints == 0) continue;
+        const unsigned depth = params.depth_of(coord_scratch_[i]);
+        if (item.endpoints & mpc::RoutedBatch::kEndpointV)
+          scratch.prepare_pages(item.delta.e.v, depth);
+        if (item.endpoints & mpc::RoutedBatch::kEndpointU)
+          scratch.prepare_pages(item.delta.e.u, depth);
+      }
+    }
+  };
+  const std::size_t tasks = static_cast<std::size_t>(banks()) * shards_;
+  if (pool != nullptr && tasks >= 2) {
+    pool->parallel_for(tasks, prepare_shard);
+  } else {
+    for (std::size_t t = 0; t < tasks; ++t) prepare_shard(t);
+  }
+  shard_cells_ready_ = true;
+}
+
+std::uint64_t VertexSketches::ingest_cell_shard(std::uint64_t machine,
+                                                unsigned bank, unsigned shard,
+                                                const mpc::RoutedBatch& routed) {
+  SMPC_CHECK(machine < routed.machines() && bank < banks() && shard < shards_);
+  SMPC_CHECK_MSG(shard_cells_ready_ && cells_ready_batch_ == &routed &&
+                     cells_ready_items_ == routed.items.size(),
+                 "begin_shard_cells must prepare this batch first");
+  const auto [begin, end] = shard_slice(routed.offsets[machine],
+                                        routed.offsets[machine + 1], shard,
+                                        shards_);
+  BankArena& arena =
+      shard_scratch_[static_cast<std::size_t>(bank) * shards_ + shard];
+  const L0Params& params = params_[bank];
+  CoordPlan& plan = shard_plans_[(machine * banks() + bank) * shards_ + shard];
+  std::uint64_t applied = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const mpc::RoutedBatch::Item& item = routed.items[i];
+    if (item.delta.delta == 0 || item.endpoints == 0) continue;
+    if (i + 1 < end) arena.prefetch(routed.items[i + 1].delta.e);
+    const Coord c = coord_scratch_[i];
+    params.plan_coord(c, item.delta.delta, plan);
+    if (item.endpoints & mpc::RoutedBatch::kEndpointV)
+      arena.apply(item.delta.e.v, c, item.delta.delta, plan, /*negated=*/false);
+    if (item.endpoints & mpc::RoutedBatch::kEndpointU)
+      arena.apply(item.delta.e.u, c, -item.delta.delta, plan, /*negated=*/true);
+    ++applied;
+  }
+  return applied;
+}
+
+void VertexSketches::merge_shard_cells(ThreadPool* pool) {
+  SMPC_CHECK_MSG(shard_cells_ready_, "no prepared shard cells to merge");
+  // Shard-ascending fold per bank: merge order is deterministic, and cell
+  // sums commute, so the resident bytes equal the 2-D grid's exactly.  The
+  // resident pages were all sized by begin_routed_cells' canonical pass,
+  // so the merge allocates nothing and page numbering is untouched.
+  const auto merge_bank = [&](std::size_t b) {
+    for (unsigned s = 0; s < shards_; ++s)
+      arenas_[b].merge_from(shard_scratch_[b * shards_ + s]);
+  };
+  if (pool != nullptr && banks() >= 2) {
+    pool->parallel_for(banks(), merge_bank);
+  } else {
+    for (unsigned b = 0; b < banks(); ++b) merge_bank(b);
+  }
+  // The prepared state was consumed; a re-merge would double-apply.
+  shard_cells_ready_ = false;
+  cells_ready_batch_ = nullptr;
+  cells_ready_items_ = kCellsNotReady;
+}
+
 void VertexSketches::begin_transaction(const mpc::RoutedBatch& routed,
                                        ThreadPool* pool) {
   const std::size_t count = routed.items.size();
@@ -210,6 +345,7 @@ void VertexSketches::rollback_transaction() {
   // exist; force a fresh preparation pass before any further cell ingest.
   cells_ready_batch_ = nullptr;
   cells_ready_items_ = kCellsNotReady;
+  shard_cells_ready_ = false;
 }
 
 void VertexSketches::commit_transaction() {

@@ -57,9 +57,20 @@ struct GraphSketchConfig {
   unsigned banks = 12;  // t: independent sketches per vertex
   L0Shape shape{2, 8};  // per-level s-sparse geometry
   std::uint64_t seed = 0x5eedULL;
-  // Worker threads for batched ingest: 0 = auto (min(hardware, banks)),
-  // 1 = serial.  The sketch contents never depend on this value.
+  // Worker threads for batched ingest: 0 = auto
+  // (min(hardware, banks * shards)), 1 = serial.  The sketch contents never
+  // depend on this value.
   unsigned ingest_threads = 0;
+  // Per-cell shard count S for the 3-D (machine x bank x shard) ingest
+  // grid: each (machine, bank) cell's sub-batch is striped across S scratch
+  // shards that apply concurrently into private BankArenas and merge back
+  // after the grid (exact, by cell linearity) — the hot-cell worst case
+  // (star / power-law streams concentrating one machine's sub-batch) no
+  // longer serializes the pool behind a single cell.  0 = auto (the
+  // SMPC_SHARDS environment knob via common/env.h, else 1); 1 = the 2-D
+  // grid.  Purely intra-machine parallelism: sketch bytes, CommLedger
+  // charges, and Simulator budget checks never depend on this value.
+  unsigned shards = 0;
 };
 
 class VertexSketches {
@@ -146,6 +157,59 @@ class VertexSketches {
   // byte-identical to update_edges(routed).
   std::uint64_t ingest_cell(std::uint64_t machine, unsigned bank,
                             const mpc::RoutedBatch& routed);
+
+  // --- 3-D sharded cell ingest (the hot-cell worst case) ---------------------
+  // With shards() > 1 the grid gains a third axis: machine m's CSR slice is
+  // cut into shards() contiguous item stripes, and cell (m, b) becomes
+  // shards() tasks (m, b, s), each applying stripe s into a private scratch
+  // BankArena keyed (b, s) — so a star stream's single dominant cell no
+  // longer serializes the pool.  Stripes partition the ITEMS (not the
+  // vertex range): a star hub concentrates every apply on one vertex, which
+  // vertex-range striping could never spread.  Tasks of the same (b, s)
+  // across machines share one scratch arena but touch disjoint vertices
+  // (machines own disjoint blocks), and begin_shard_cells pre-sizes every
+  // scratch page in canonical order, so the 3-D grid is race-free in any
+  // schedule.  merge_shard_cells then folds each bank's scratch shards —
+  // shard-ascending — into the resident arena via BankArena::merge_from;
+  // cells are linear, so the resident bytes come out identical to the 2-D
+  // grid for every shard count, thread count, and schedule.  Resident page
+  // numbering is untouched: begin_routed_cells' canonical preparation pass
+  // still sizes the resident arenas, and the merge allocates nothing.
+
+  // Shard count configured for this sketch (>= 1, resolved at construction
+  // from GraphSketchConfig::shards / SMPC_SHARDS).
+  unsigned shards() const { return shards_; }
+  // Shard count ExecPlan::run should use for a batch of `items` routed
+  // items: shards() when sharding is on and the batch clears the parallel
+  // threshold, else 1 (single updates keep the 2-D fast path).
+  unsigned plan_shards(std::size_t items) const;
+
+  // Prepares the scratch side of the 3-D grid for `routed`: lazily builds
+  // the banks() x shards() scratch arenas, resets each (O(touched pages),
+  // DeltaSketch's reuse discipline), and pre-allocates — per (bank, shard)
+  // task, walking machines ascending over stripe s — every scratch page
+  // any (m, b, s) task will touch.  Requires begin_routed_cells(routed)
+  // first (reuses its encoded coordinates).  The (bank, shard) tasks share
+  // nothing and fan across `pool`.
+  void begin_shard_cells(const mpc::RoutedBatch& routed,
+                         ThreadPool* pool = nullptr);
+
+  // One 3-D grid task: applies stripe `shard` of machine `machine`'s CSR
+  // slice to the (bank, shard) scratch arena, using that task's private
+  // plan scratch.  Returns the number of items applied; every item of the
+  // machine lands in exactly one stripe, so the per-cell shard sums equal
+  // the unsharded ingest_cell counts.  Requires begin_shard_cells(routed);
+  // distinct (machine, bank, shard) tasks may run concurrently.
+  std::uint64_t ingest_cell_shard(std::uint64_t machine, unsigned bank,
+                                  unsigned shard,
+                                  const mpc::RoutedBatch& routed);
+
+  // Folds every bank's scratch shards into the resident arena,
+  // shard-ascending (one independent task per bank, fanned across `pool`),
+  // then invalidates the prepared-cells state (the batch is consumed).
+  // After this the resident arenas are byte-identical to running the 2-D
+  // grid on the same batch.
+  void merge_shard_cells(ThreadPool* pool = nullptr);
 
   // --- transactional ingest (fault tolerance) --------------------------------
   // Brackets the begin_routed_cells + ingest_cell pipeline of ONE routed
@@ -249,6 +313,7 @@ class VertexSketches {
   VertexId n_;
   EdgeCoordCodec codec_;
   unsigned ingest_threads_;
+  unsigned shards_;  // resolved (>= 1); see GraphSketchConfig::shards
   std::vector<L0Params> params_;   // one per bank
   std::vector<BankArena> arenas_;  // one per bank
   std::vector<Coord> coord_scratch_;
@@ -265,6 +330,13 @@ class VertexSketches {
   static constexpr std::size_t kCellsNotReady = ~std::size_t{0};
   const mpc::RoutedBatch* cells_ready_batch_ = nullptr;
   std::size_t cells_ready_items_ = kCellsNotReady;
+  // 3-D sharded-grid state: per-(bank, shard) scratch arenas (lazily built
+  // on the first sharded batch, reset-and-reused after), per-(machine,
+  // bank, shard) plan scratch, and whether begin_shard_cells has prepared
+  // the current cells-ready batch.
+  std::vector<BankArena> shard_scratch_;  // [bank * shards_ + shard]
+  std::vector<CoordPlan> shard_plans_;  // [(machine*banks + bank)*shards_ + s]
+  bool shard_cells_ready_ = false;
   mpc::ExecPlan exec_plan_;  // the update_edges lowering, buffers reused
   std::uint64_t mutation_epoch_ = 0;  // see mutation_epoch()
 };

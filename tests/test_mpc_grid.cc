@@ -488,5 +488,56 @@ TEST(GridRollback, MidGridFaultRestoresExactBytesAcrossThreadsAndMachines) {
   }
 }
 
+TEST(GridRollback, ShardedGridFaultRestoresExactBytesAcrossThreadsAndShards) {
+  // Same contract under the 3-D sharded grid (ISSUE 9): the injected fault
+  // loses every stripe of the skipped cell, every other cell's scratch
+  // work is still merged into the resident arenas, and the transactional
+  // rollback must restore the pre-batch bytes exactly — for every
+  // shard count x thread count combination.
+  const VertexId n = 96;
+  GraphSketchConfig cfg;
+  cfg.banks = 5;
+  cfg.seed = 71601;
+  const auto deltas = random_deltas(n, 400, 71602);
+  const auto sets = probe_sets(n, 71603);
+  const std::span<const EdgeDelta> all(deltas);
+  const auto batch1 = all.first(200);
+  const auto batch2 = all.subspan(200);
+
+  VertexSketches after1(n, cfg);
+  after1.update_edges(batch1);
+  VertexSketches after2(n, cfg);
+  after2.update_edges(batch1);
+  after2.update_edges(batch2);
+
+  for (const unsigned shards : {2u, 4u, 8u}) {
+    cfg.shards = shards;
+    for (const unsigned threads : kThreadCounts) {
+      SCOPED_TRACE(::testing::Message()
+                   << "shards=" << shards << " threads=" << threads);
+      mpc::FaultInjector injector;
+      SimRun run(n, cfg, /*machines=*/8, threads);
+      run.sim.attach_fault_injector(&injector);
+      mpc::RoutedBatch routed;
+      run.cluster.route_batch(batch1, n, routed);
+      run.sim.execute(routed, "shard-rollback-b1", run.sketches);
+      expect_identical_samples(after1, run.sketches, cfg.banks, sets);
+      const std::uint64_t words_after1 = run.sketches.allocated_words();
+
+      injector.add_cell_fault(run.sim.stats().cell_steps + 3);
+      run.cluster.route_batch(batch2, n, routed);
+      EXPECT_THROW(run.sim.execute(routed, "shard-rollback-b2", run.sketches),
+                   mpc::TransientFault);
+      expect_identical_samples(after1, run.sketches, cfg.banks, sets);
+      EXPECT_EQ(run.sketches.allocated_words(), words_after1);
+      EXPECT_EQ(run.sim.stats().rollbacks, 1u);
+
+      run.sim.execute(routed, "shard-rollback-b2", run.sketches);
+      expect_identical_samples(after2, run.sketches, cfg.banks, sets);
+      EXPECT_EQ(run.sketches.allocated_words(), after2.allocated_words());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace streammpc

@@ -49,6 +49,12 @@ mpc::SchedulerConfig bisect_config() {
   return sc;
 }
 
+mpc::SchedulerConfig proportional_config() {
+  mpc::SchedulerConfig sc;
+  sc.policy = mpc::SplitPolicy::kProportional;
+  return sc;
+}
+
 std::vector<EdgeDelta> delete_deltas(const std::vector<Edge>& edges) {
   std::vector<EdgeDelta> deltas;
   deltas.reserve(edges.size());
@@ -407,6 +413,151 @@ TEST(BatchScheduler, FrontEndOptInCompletesStrictRunAndMatchesReference) {
   test::expect_matches_reference(dc, ref, "front-end opt-in");
 }
 
+TEST(BatchScheduler, ProportionalBeatsBisectOnHotMachineDeletesWithIdenticalBytes) {
+  // Star deletes concentrate every delta on the hub's machine, so under a
+  // tight budget bisect must descend the full binary tree until its leaves
+  // fit the margin, while the proportional comb sizes every leaf to the
+  // margin directly: strictly fewer subbatches, splits, control rounds,
+  // and depth — and byte-identical sketches (linearity).  The insert phase
+  // runs FLAT (no scheduler) so the resident shards sit at the watermark
+  // and the delete-phase geometry is provable.
+  const VertexId n = 96;
+  const std::uint64_t machines = 4;
+  GraphSketchConfig cfg;
+  cfg.banks = 4;
+  cfg.seed = 52301;
+  cfg.ingest_threads = 1;
+  const auto edges = gen::star_graph(n);
+  const auto inserts = insert_deltas(edges);
+  const std::vector<Edge> doomed(edges.begin(), edges.begin() + 80);
+  const auto deletes = delete_deltas(doomed);
+  const auto sets = probe_sets(n, 59);
+  const std::uint64_t budget =
+      final_resident(n, cfg, edges, machines) + kMarginWords;
+
+  VertexSketches flat(n, cfg);
+  flat.update_edges(inserts);
+  flat.update_edges(deletes);
+
+  const auto drive = [&](SchedRun& run) {
+    run.vs.update_edges(inserts);  // watermark without scheduler rounds
+    run.sched.execute(deletes, run.vs.n(), "hot", run.vs);
+  };
+
+  SchedRun bis(n, cfg, machines, /*strict=*/true, budget, /*threads=*/1,
+               bisect_config());
+  drive(bis);
+  SchedRun prop(n, cfg, machines, /*strict=*/true, budget, /*threads=*/1,
+                proportional_config());
+  drive(prop);
+
+  EXPECT_GT(prop.sched.stats().splits, 0u);
+  EXPECT_EQ(prop.sched.stats().exhausted, 0u);
+  EXPECT_EQ(bis.sched.stats().exhausted, 0u);
+  EXPECT_LT(prop.sched.stats().subbatches, bis.sched.stats().subbatches);
+  EXPECT_LT(prop.sched.stats().splits, bis.sched.stats().splits);
+  EXPECT_LT(prop.sched.stats().max_depth, bis.sched.stats().max_depth);
+  EXPECT_LT(prop.cluster.rounds(), bis.cluster.rounds());
+
+  expect_identical_samples(flat, prop.vs, cfg.banks, sets);
+  EXPECT_EQ(flat.allocated_words(), prop.vs.allocated_words());
+  expect_identical_samples(flat, bis.vs, cfg.banks, sets);
+  EXPECT_EQ(flat.allocated_words(), bis.vs.allocated_words());
+
+  // The proportional split tree is a pure function of the stream and the
+  // geometry: identical log, rounds, and bytes across grid thread counts.
+  for (const unsigned threads : {2u, 8u}) {
+    SchedRun run(n, cfg, machines, /*strict=*/true, budget, threads,
+                 proportional_config());
+    drive(run);
+    EXPECT_EQ(run.sched.stats().split_log, prop.sched.stats().split_log);
+    EXPECT_EQ(run.sched.stats().subbatches, prop.sched.stats().subbatches);
+    EXPECT_EQ(run.cluster.rounds(), prop.cluster.rounds());
+    EXPECT_EQ(run.cluster.rounds_by_label(), prop.cluster.rounds_by_label());
+    expect_identical_samples(prop.vs, run.vs, cfg.banks, sets);
+    EXPECT_EQ(prop.vs.allocated_words(), run.vs.allocated_words());
+  }
+}
+
+TEST(BatchScheduler, ProportionalSplitLogAndRoundsAreExactOnStarDeletes) {
+  // Fully provable comb geometry.  After a flat insert of the whole star,
+  // the hub's machine 0 is the max-resident machine, so with
+  // budget = resident(0) + kMarginWords its delete-phase headroom is the
+  // margin EXACTLY (the probe's claim is un-scaled without an injector and
+  // the u128 ratio in proportional_cut is then an identity).  Every star
+  // delete loads machine 0 with kWordsPerDelta words, so every cut lands
+  // at margin / kWordsPerDelta = 8 deltas: a 64-delta chunk yields a comb
+  // of 7 spine cuts + 8 leaf deliveries with a split log and round bill we
+  // can write down in closed form.
+  const VertexId n = 96;
+  const std::uint64_t machines = 4;
+  GraphSketchConfig cfg;
+  cfg.banks = 3;
+  cfg.seed = 52401;
+  cfg.ingest_threads = 1;
+  const auto edges = gen::star_graph(n);
+  ASSERT_GE(edges.size(), 64u);
+  const std::vector<Edge> doomed(edges.begin(), edges.begin() + 64);
+  const auto deletes = delete_deltas(doomed);
+  const std::uint64_t budget =
+      final_resident(n, cfg, edges, machines) + kMarginWords;
+
+  SchedRun run(n, cfg, machines, /*strict=*/true, budget, /*threads=*/1,
+               proportional_config());
+  run.vs.update_edges(insert_deltas(edges));
+
+  // Geometry preconditions for exactness: the hub's machine holds the max
+  // resident shard (headroom == margin), and no other machine can overflow
+  // even under the full 64-delta chunk (each hosts <= 24 of the leaves).
+  const std::uint64_t res0 = run.vs.resident_words(0, run.cluster);
+  ASSERT_EQ(res0 + kMarginWords, budget);
+  for (std::uint64_t m = 1; m < machines; ++m) {
+    ASSERT_LE(run.vs.resident_words(m, run.cluster) +
+                  24 * mpc::RoutedBatch::kWordsPerDelta,
+              budget);
+  }
+
+  VertexSketches flat(n, cfg);
+  flat.update_edges(insert_deltas(edges));
+  flat.update_edges(deletes);
+
+  const std::uint64_t before = run.cluster.rounds();
+  run.sched.execute(deletes, run.vs.n(), "exact", run.vs);
+
+  const auto& st = run.sched.stats();
+  EXPECT_EQ(st.batches, 1u);
+  EXPECT_EQ(st.splits, 7u);
+  EXPECT_EQ(st.subbatches, 8u);
+  EXPECT_EQ(st.exhausted, 0u);
+  EXPECT_EQ(st.max_depth, 1u);  // spine at depth 0, leaves at depth 1
+  ASSERT_EQ(st.split_log.size(), 7u);
+  for (std::size_t k = 0; k < st.split_log.size(); ++k) {
+    const mpc::BatchScheduler::Split& s = st.split_log[k];
+    EXPECT_EQ(s.offset, 8 * k) << "split " << k;
+    EXPECT_EQ(s.size, 64 - 8 * k) << "split " << k;
+    EXPECT_EQ(s.depth, 0u) << "split " << k;
+    EXPECT_EQ(s.machine, 0u) << "split " << k;
+    EXPECT_EQ(s.budget_words, budget) << "split " << k;
+    EXPECT_EQ(s.needed_words,
+              res0 + (64 - 8 * k) * mpc::RoutedBatch::kWordsPerDelta)
+        << "split " << k;
+  }
+
+  // Exact round bill: one delivery round per leaf plus one broadcast-tree
+  // control charge per spine cut, all visible under the split label.
+  const std::uint64_t control =
+      std::max<std::uint64_t>(1, run.cluster.broadcast_rounds());
+  EXPECT_EQ(run.cluster.rounds() - before, 8 + 7 * control);
+  const auto& by_label = run.cluster.rounds_by_label();
+  const auto it = by_label.find("exact/scheduler-split");
+  ASSERT_NE(it, by_label.end());
+  EXPECT_EQ(it->second, 7 * control);
+
+  // And as always: the comb is invisible in the bytes.
+  expect_identical_samples(flat, run.vs, cfg.banks, probe_sets(n, 60));
+  EXPECT_EQ(flat.allocated_words(), run.vs.allocated_words());
+}
+
 TEST(BatchScheduler, AutoPolicyResolvesFromEnvironmentAtConstruction) {
   const VertexId n = 32;
   mpc::Cluster cluster = test::make_cluster(n, 2);
@@ -416,6 +567,11 @@ TEST(BatchScheduler, AutoPolicyResolvesFromEnvironmentAtConstruction) {
   mpc::BatchScheduler on(cluster, sim);
   EXPECT_TRUE(on.enabled());
   EXPECT_EQ(on.policy(), mpc::SplitPolicy::kBisect);
+
+  ASSERT_EQ(setenv("SMPC_SCHED", "proportional", 1), 0);
+  mpc::BatchScheduler prop(cluster, sim);
+  EXPECT_TRUE(prop.enabled());
+  EXPECT_EQ(prop.policy(), mpc::SplitPolicy::kProportional);
 
   ASSERT_EQ(setenv("SMPC_SCHED", "off", 1), 0);
   mpc::BatchScheduler off(cluster, sim);

@@ -1,0 +1,406 @@
+// Conformance suite for the 3-D (machine x bank x shard) grid executor
+// (ISSUE 9): shard-count invariance of every ingest path — byte-identical
+// sketches, identical CommLedger state, identical Simulator stats across
+// shards {1, 2, 4, 8} x modes {flat, routed, simulated} x threads
+// {1, 2, 8}; the canonical serial order of the 3-D fallback; the hot-cell
+// adversarial streams the shard axis exists for; the SMPC_SHARDS
+// resolution rules; and composition with the adaptive batch scheduler
+// (sharding is intra-machine only, so the probe/split geometry must not
+// move by a single round).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "graph/generators.h"
+#include "mpc/batch_scheduler.h"
+#include "mpc/cluster.h"
+#include "mpc/simulator.h"
+#include "sketch/graphsketch.h"
+#include "test_support.h"
+
+namespace streammpc {
+namespace {
+
+using test::expect_identical_samples;
+using test::insert_deltas;
+using test::probe_sets;
+using test::random_deltas;
+
+constexpr unsigned kShardCounts[] = {1, 2, 4, 8};
+constexpr unsigned kThreadCounts[] = {1, 2, 8};
+
+// ---------------- ThreadPool 3-D grid scheduling -----------------------------
+
+TEST(Grid3ThreadPool, SerialGridRunsInCanonicalMachineBankShardOrder) {
+  // threads = 1 must execute slots strictly in canonical order — machine-
+  // major, then bank, then shard ascending — so the serial fallback stays
+  // the readable debugging baseline of the 3-D grid too.
+  ThreadPool pool(1);
+  std::vector<std::array<std::size_t, 3>> seen;
+  pool.parallel_for_grid3(3, 4, 2,
+                          [&](std::size_t m, std::size_t b, std::size_t s) {
+                            seen.push_back({m, b, s});
+                          });
+  ASSERT_EQ(seen.size(), 24u);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i][0], i / 8) << "slot " << i;
+    EXPECT_EQ(seen[i][1], (i / 2) % 4) << "slot " << i;
+    EXPECT_EQ(seen[i][2], i % 2) << "slot " << i;
+  }
+}
+
+TEST(Grid3ThreadPool, ParallelGridCoversEverySlotExactlyOnce) {
+  ThreadPool pool(4);
+  for (const auto [rows, cols, shards] :
+       {std::array<std::size_t, 3>{1, 1, 1}, {7, 3, 2}, {16, 4, 8},
+        {5, 3, 1}}) {
+    std::vector<std::atomic<int>> hits(rows * cols * shards);
+    pool.parallel_for_grid3(rows, cols, shards,
+                            [&](std::size_t m, std::size_t b, std::size_t s) {
+                              hits[(m * cols + b) * shards + s].fetch_add(1);
+                            });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1)
+          << rows << "x" << cols << "x" << shards << " slot " << i;
+    }
+  }
+}
+
+// ---------------- shared helpers ---------------------------------------------
+
+void expect_identical_stats(const mpc::Simulator::Stats& a,
+                            const mpc::Simulator::Stats& b) {
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.machine_steps, b.machine_steps);
+  EXPECT_EQ(a.cell_steps, b.cell_steps);
+  EXPECT_EQ(a.applied_updates, b.applied_updates);
+  EXPECT_EQ(a.peak_step_words, b.peak_step_words);
+  EXPECT_EQ(a.peak_resident_words, b.peak_resident_words);
+  EXPECT_EQ(a.peak_machine_words, b.peak_machine_words);
+  EXPECT_EQ(a.budget_overruns, b.budget_overruns);
+  EXPECT_EQ(a.worst_overrun_words, b.worst_overrun_words);
+  EXPECT_EQ(a.overruns, b.overruns);  // deterministic order required
+}
+
+void expect_identical_ledgers(const mpc::CommLedger& a,
+                              const mpc::CommLedger& b) {
+  ASSERT_EQ(a.machines(), b.machines());
+  EXPECT_EQ(a.rounds(), b.rounds());
+  EXPECT_EQ(a.total_words(), b.total_words());
+  EXPECT_EQ(a.max_machine_load(), b.max_machine_load());
+  EXPECT_EQ(a.words_by_machine(), b.words_by_machine());
+  EXPECT_EQ(a.peak_resident_words(), b.peak_resident_words());
+  EXPECT_EQ(a.peak_machine_total_words(), b.peak_machine_total_words());
+  EXPECT_EQ(a.resident_peak_by_machine(), b.resident_peak_by_machine());
+}
+
+// Drives chunked simulated ingest with explicit shard and thread counts.
+struct SimRun {
+  mpc::Cluster cluster;
+  mpc::Simulator sim;
+  VertexSketches sketches;
+
+  SimRun(VertexId n, const GraphSketchConfig& cfg, std::uint64_t machines,
+         unsigned threads)
+      : cluster(test::make_cluster(n, machines)),
+        sim(cluster, /*scratch_words=*/0, threads),
+        sketches(n, cfg) {}
+
+  void ingest(std::span<const EdgeDelta> deltas, std::size_t chunk) {
+    mpc::RoutedBatch routed;
+    for (std::size_t start = 0; start < deltas.size(); start += chunk) {
+      const std::size_t len = std::min(chunk, deltas.size() - start);
+      cluster.route_batch(deltas.subspan(start, len), sketches.n(), routed);
+      sim.execute(routed, "shard-invariance", sketches);
+    }
+  }
+};
+
+// ---------------- shard-count invariance matrix ------------------------------
+
+TEST(ShardConformance, ShardCountInvarianceAcrossModesAndThreads) {
+  // The tentpole contract: the shard count is intra-machine parallelism
+  // ONLY.  For every ingest mode (flat span, routed CSR, simulated
+  // executor), every shard count, and every thread count, the sketches are
+  // byte-identical to the unsharded serial baseline — and for the
+  // simulated mode the CommLedger and Stats are identical too (sharding
+  // never moves a word, a round, or a budget charge).
+  const VertexId n = 96;
+  const std::uint64_t machines = 8;
+  const auto deltas = random_deltas(n, 420, 91001);
+  const auto sets = probe_sets(n, 91002);
+  constexpr std::size_t kChunk = 140;
+
+  GraphSketchConfig base;
+  base.banks = 5;
+  base.seed = 91003;
+  base.ingest_threads = 1;
+  base.shards = 1;  // explicit: immune to the CI's global SMPC_SHARDS
+
+  VertexSketches flat_ref(n, base);
+  flat_ref.update_edges(deltas);
+
+  SimRun sim_ref(n, base, machines, /*threads=*/1);
+  sim_ref.ingest(deltas, kChunk);
+  expect_identical_samples(flat_ref, sim_ref.sketches, base.banks, sets);
+
+  for (const unsigned shards : kShardCounts) {
+    for (const unsigned threads : kThreadCounts) {
+      GraphSketchConfig cfg = base;
+      cfg.shards = shards;
+      cfg.ingest_threads = threads;
+      const std::string where = "shards=" + std::to_string(shards) +
+                                " threads=" + std::to_string(threads);
+
+      // Flat span ingest (the 1-machine grid).
+      VertexSketches flat(n, cfg);
+      EXPECT_EQ(flat.shards(), shards) << where;
+      for (std::size_t start = 0; start < deltas.size(); start += kChunk) {
+        const std::size_t len = std::min(kChunk, deltas.size() - start);
+        flat.update_edges(
+            std::span<const EdgeDelta>(deltas).subspan(start, len));
+      }
+      expect_identical_samples(flat_ref, flat, base.banks, sets);
+      EXPECT_EQ(flat_ref.allocated_words(), flat.allocated_words()) << where;
+
+      // Routed CSR ingest (machines x banks x shards, no executor).
+      VertexSketches routed_vs(n, cfg);
+      {
+        mpc::Cluster cluster = test::make_cluster(n, machines);
+        mpc::RoutedBatch routed;
+        const std::span<const EdgeDelta> all(deltas);
+        for (std::size_t start = 0; start < all.size(); start += kChunk) {
+          const std::size_t len = std::min(kChunk, all.size() - start);
+          cluster.route_batch(all.subspan(start, len), n, routed);
+          routed_vs.update_edges(routed);
+        }
+      }
+      expect_identical_samples(flat_ref, routed_vs, base.banks, sets);
+      EXPECT_EQ(flat_ref.allocated_words(), routed_vs.allocated_words())
+          << where;
+
+      // Simulated executor ingest: bytes AND accounting must match the
+      // unsharded serial run exactly.
+      SimRun run(n, cfg, machines, threads);
+      run.ingest(deltas, kChunk);
+      expect_identical_samples(sim_ref.sketches, run.sketches, base.banks,
+                               sets);
+      EXPECT_EQ(sim_ref.sketches.allocated_words(),
+                run.sketches.allocated_words())
+          << where;
+      expect_identical_ledgers(sim_ref.cluster.comm_ledger(),
+                               run.cluster.comm_ledger());
+      expect_identical_stats(sim_ref.sim.stats(), run.sim.stats());
+    }
+  }
+}
+
+TEST(ShardConformance, HotCellAdversarialStreamsAreShardInvariant) {
+  // The workloads the shard axis exists for: a star (every delta applies
+  // to ONE hub vertex — item striping is the only parallelism left), a
+  // power-law stream (machine 0 hot), and the single-cell collision (every
+  // delta routes to machine 0).  Byte identity must hold on exactly these.
+  const VertexId n = 128;
+  const auto sets = probe_sets(n, 91102);
+  struct Stream {
+    const char* name;
+    std::vector<EdgeDelta> deltas;
+    std::uint64_t machines;
+  };
+  const Stream streams[] = {
+      {"star", test::star_deltas(n), 1},
+      {"power-law", test::power_law_deltas(n, 400, 91103), 8},
+      {"hot-block", test::hot_block_deltas(n, 16, 400, 91104), 8},
+  };
+
+  for (const Stream& s : streams) {
+    GraphSketchConfig base;
+    base.banks = 4;
+    base.seed = 91105;
+    base.ingest_threads = 1;
+    base.shards = 1;
+    VertexSketches ref(n, base);
+    ref.update_edges(s.deltas);
+    SimRun sim_ref(n, base, s.machines, 1);
+    sim_ref.ingest(s.deltas, 128);
+
+    for (const unsigned shards : {2u, 8u}) {
+      GraphSketchConfig cfg = base;
+      cfg.shards = shards;
+      cfg.ingest_threads = 8;
+      VertexSketches flat(n, cfg);
+      flat.update_edges(s.deltas);
+      expect_identical_samples(ref, flat, base.banks, sets);
+      EXPECT_EQ(ref.allocated_words(), flat.allocated_words())
+          << s.name << " shards=" << shards;
+
+      SimRun run(n, cfg, s.machines, 8);
+      run.ingest(s.deltas, 128);
+      expect_identical_samples(ref, run.sketches, base.banks, sets);
+      expect_identical_ledgers(sim_ref.cluster.comm_ledger(),
+                               run.cluster.comm_ledger());
+      expect_identical_stats(sim_ref.sim.stats(), run.sim.stats());
+    }
+  }
+}
+
+// ---------------- knob resolution --------------------------------------------
+
+// Saves and restores one environment variable around a test body, so the
+// suite behaves identically under the CI's global SMPC_SHARDS settings.
+struct EnvGuard {
+  std::string name;
+  std::string saved;
+  bool had;
+  explicit EnvGuard(const char* n) : name(n) {
+    const char* v = std::getenv(n);
+    had = v != nullptr;
+    if (had) saved = v;
+  }
+  ~EnvGuard() {
+    if (had) {
+      setenv(name.c_str(), saved.c_str(), 1);
+    } else {
+      unsetenv(name.c_str());
+    }
+  }
+};
+
+TEST(ShardConfig, EnvKnobResolvesAtConstruction) {
+  const VertexId n = 32;
+  GraphSketchConfig cfg;
+  cfg.banks = 2;
+  cfg.seed = 91201;
+  const EnvGuard guard("SMPC_SHARDS");
+
+  // Unset: sharding off (shards() == 1, the 2-D grid).
+  ASSERT_EQ(unsetenv("SMPC_SHARDS"), 0);
+  EXPECT_EQ(VertexSketches(n, cfg).shards(), 1u);
+
+  // Set: auto (config.shards == 0) resolves the environment once, at
+  // construction.
+  ASSERT_EQ(setenv("SMPC_SHARDS", "4", 1), 0);
+  VertexSketches from_env(n, cfg);
+  EXPECT_EQ(from_env.shards(), 4u);
+
+  // An explicit config wins over the environment.
+  GraphSketchConfig pinned = cfg;
+  pinned.shards = 2;
+  EXPECT_EQ(VertexSketches(n, pinned).shards(), 2u);
+
+  // Invalid values fall back to 1 (with a warning), and absurd values are
+  // capped at 256 — a shard never holds less than one item per task worth
+  // scheduling anyway.
+  ASSERT_EQ(setenv("SMPC_SHARDS", "0", 1), 0);
+  EXPECT_EQ(VertexSketches(n, cfg).shards(), 1u);
+  ASSERT_EQ(setenv("SMPC_SHARDS", "lots", 1), 0);
+  EXPECT_EQ(VertexSketches(n, cfg).shards(), 1u);
+  ASSERT_EQ(setenv("SMPC_SHARDS", "100000", 1), 0);
+  EXPECT_EQ(VertexSketches(n, cfg).shards(), 256u);
+
+  // Already-constructed sketches keep their resolved count.
+  EXPECT_EQ(from_env.shards(), 4u);
+}
+
+TEST(ShardConfig, SingleUpdatesKeepTheTwoDimensionalFastPath) {
+  // plan_shards() only engages the 3-D grid for batches that clear the
+  // parallel threshold; single-edge updates (the query-path hot loop)
+  // must not pay scratch-arena traffic.
+  GraphSketchConfig cfg;
+  cfg.banks = 2;
+  cfg.seed = 91301;
+  cfg.shards = 8;
+  const VertexSketches vs(64, cfg);
+  EXPECT_EQ(vs.plan_shards(1), 1u);
+  EXPECT_EQ(vs.plan_shards(3), 1u);
+  EXPECT_GT(vs.plan_shards(64), 1u);
+
+  GraphSketchConfig off = cfg;
+  off.shards = 1;
+  EXPECT_EQ(VertexSketches(64, off).plan_shards(1 << 20), 1u);
+}
+
+// ---------------- composition with the batch scheduler -----------------------
+
+TEST(ShardConformance, SchedulerSplitGeometryIsShardInvariant) {
+  // Sharding must be invisible to the scheduler's closed loop: probes read
+  // routed loads and resident words, neither of which depends on the shard
+  // count, so the split tree — offsets, sizes, depths, machines — and the
+  // round bill are identical at every shard count, as are the bytes.
+  const VertexId n = 96;
+  const std::uint64_t machines = 4;
+  GraphSketchConfig base;
+  base.banks = 4;
+  base.seed = 91401;
+  base.ingest_threads = 1;
+  base.shards = 1;
+  Rng rng(91402);
+  const auto edges = gen::gnm(n, 260, rng);
+  const auto inserts = insert_deltas(edges);
+  std::vector<EdgeDelta> deletes;
+  for (const Edge& e : edges) deletes.push_back(EdgeDelta{e, -1});
+  const auto sets = probe_sets(n, 91403);
+
+  // Budget = final resident + a small margin (the provable-split recipe of
+  // tests/test_mpc_scheduler.cc): large insert chunks at the watermark
+  // must split.
+  std::uint64_t budget = 0;
+  {
+    mpc::Cluster cluster = test::make_cluster(n, machines);
+    VertexSketches probe(n, base);
+    probe.update_edges(inserts);
+    for (std::uint64_t m = 0; m < machines; ++m)
+      budget = std::max(budget, probe.resident_words(m, cluster));
+    budget += 8 * mpc::RoutedBatch::kWordsPerDelta;
+  }
+
+  mpc::SchedulerConfig sc;
+  sc.policy = mpc::SplitPolicy::kBisect;
+
+  struct Run {
+    mpc::Cluster cluster;
+    mpc::Simulator sim;
+    mpc::BatchScheduler sched;
+    VertexSketches vs;
+    Run(VertexId n, const GraphSketchConfig& cfg, std::uint64_t machines,
+        std::uint64_t budget, unsigned threads, const mpc::SchedulerConfig& sc)
+        : cluster(test::make_cluster(n, machines, 0.5, /*strict=*/true)),
+          sim(cluster, budget, threads),
+          sched(cluster, sim, sc),
+          vs(n, cfg) {}
+  };
+
+  // Inserts run flat (resident reaches the watermark without scheduler
+  // rounds); the delete batch at the watermark must split.
+  Run ref(n, base, machines, budget, /*threads=*/1, sc);
+  ref.vs.update_edges(inserts);
+  ref.sched.execute(deletes, n, "shard-sched", ref.vs);
+  EXPECT_GT(ref.sched.stats().splits, 0u);
+
+  for (const unsigned shards : {2u, 8u}) {
+    GraphSketchConfig cfg = base;
+    cfg.shards = shards;
+    Run run(n, cfg, machines, budget, /*threads=*/8, sc);
+    run.vs.update_edges(inserts);
+    run.sched.execute(deletes, n, "shard-sched", run.vs);
+    EXPECT_EQ(run.sched.stats().split_log, ref.sched.stats().split_log);
+    EXPECT_EQ(run.sched.stats().subbatches, ref.sched.stats().subbatches);
+    EXPECT_EQ(run.sched.stats().exhausted, ref.sched.stats().exhausted);
+    EXPECT_EQ(run.cluster.rounds(), ref.cluster.rounds());
+    EXPECT_EQ(run.cluster.rounds_by_label(), ref.cluster.rounds_by_label());
+    expect_identical_ledgers(ref.cluster.comm_ledger(),
+                             run.cluster.comm_ledger());
+    expect_identical_samples(ref.vs, run.vs, base.banks, sets);
+    EXPECT_EQ(ref.vs.allocated_words(), run.vs.allocated_words());
+  }
+}
+
+}  // namespace
+}  // namespace streammpc
