@@ -15,8 +15,10 @@
 #include "graph/adjacency.h"
 #include "graph/generators.h"
 #include "graph/reference.h"
+#include "sketch/arena.h"
 #include "sketch/coord.h"
 #include "sketch/l0sampler.h"
+#include "soa_ref_arena.h"
 
 namespace streammpc {
 namespace {
@@ -103,18 +105,24 @@ void sweep_geometry() {
 // E10c — cell-layout ablation for the ROADMAP "AoS vs SoA, measure before
 // switching" item: cache lines touched per edge update vs per page merge.
 //
-// The arena (sketch/arena.h) stores each level store's cells as SoA — three
-// parallel arrays w (8 B), s (16 B), fp (8 B) — while the hypothetical AoS
-// layout packs one 32 B record per cell.  An update touches `rows` cells
-// out of the cells_per_level in each level it reaches (the level-0 hot page
-// for ~every update, a deepening overflow page per extra level), so SoA
-// pays up to three cache lines per touched cell (one per array) where AoS
-// pays one; a merge scans whole pages, where both layouts read every byte.
-// This sweep *measures* both counts against the real hash geometry: it
-// replays a random edge sample through L0Params::plan_coord and counts the
-// exact distinct 64-byte lines each layout would touch (page sizes at the
-// default 2x8 geometry are multiples of 64 B, so page-relative counting is
-// exact), instead of relying on the up-to-3x folklore.
+// The arena (sketch/arena.h) now packs each cell into one 32 B AoS record
+// {w, s_lo, s_hi, fp}; the pre-switch layout (frozen verbatim in
+// bench/soa_ref_arena.h) kept three SoA parallel arrays — w (8 B),
+// s (16 B), fp (8 B).  An update touches `rows` cells out of the
+// cells_per_level in each level it reaches (the level-0 hot page for
+// ~every update, a deepening overflow page per extra level), so SoA pays
+// up to three cache lines per touched cell (one per array) where AoS pays
+// one; a merge scans whole pages, where both layouts read every byte.
+//
+// The counts here are MEASURED, not modeled: both arenas are built for
+// real, every page a sampled edge reaches is allocated up front (so the
+// stores stop reallocating and addresses are final), and each update's
+// footprint is the set of distinct 64-byte lines among the ACTUAL byte
+// addresses its applies dereference — AoS records through
+// BankArena::level_records, SoA elements through the reference arena's
+// store probes (&w[cell], &s[cell], &fp[cell]).  Whatever the allocator
+// did about alignment or page adjacency is therefore captured, instead of
+// assumed away by in-page offset arithmetic.
 void sweep_cell_layout() {
   bench::section("E10c: cell layout (SoA vs AoS) — cache lines touched",
                  "updates touch rows-of-16 cells per level (AoS favored); "
@@ -126,56 +134,100 @@ void sweep_cell_layout() {
   const EdgeCoordCodec codec(n);
   const L0Params params(codec.dimension(), shape, 10400);
   const std::size_t cpl = params.cells_per_level();
-
-  // Element sizes of the two layouts, in bytes.
   constexpr std::size_t kLine = 64;
-  constexpr std::size_t kSoA[3] = {8, 16, 8};  // w, s, fp arrays
-  constexpr std::size_t kAoS = 32;             // packed {w, s, fp} record
 
-  // Distinct lines touched when `cells` in-page cell indices are accessed
-  // in one store page (page bases are line-aligned: cpl = 16 cells make
-  // every array's page a multiple of 64 B).
-  const auto lines_of = [&](const std::vector<std::size_t>& cells,
-                            std::size_t elem) {
-    std::vector<std::size_t> lines;
-    for (const std::size_t c : cells) lines.push_back(c * elem / kLine);
-    std::sort(lines.begin(), lines.end());
-    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
-    return lines.size();
-  };
+  BankArena aos(n, params);
+  soa_ref::SoaBankArena soa(n, params);
 
+  // Sample the edge set once, then allocate every page either layout will
+  // touch BEFORE any address is recorded — vector growth would otherwise
+  // move the stores mid-census.
   Rng rng(10500);
   CoordPlan plan;
   const int kEdges = 20000;
-  std::uint64_t soa_update_lines = 0, aos_update_lines = 0;
-  std::uint64_t levels_touched = 0;
-  std::vector<std::size_t> touched;  // in-level cell indices, reused
+  std::vector<Edge> edges;
+  edges.reserve(kEdges);
   for (int i = 0; i < kEdges; ++i) {
     const VertexId u = static_cast<VertexId>(rng.below(n));
     VertexId v = static_cast<VertexId>(rng.below(n - 1));
     if (v >= u) ++v;
-    const Coord c = codec.encode(make_edge(u, v));
-    params.plan_coord(c, +1, plan);
-    // Each endpoint touches the same per-level cells of its own pages, so
-    // one endpoint's count doubles (the two pages never share lines).
-    for (unsigned j = 0; j <= plan.depth; ++j) {
-      touched.clear();
-      for (unsigned r = 0; r < shape.rows; ++r)
-        touched.push_back(plan.offsets[j * shape.rows + r]);
-      ++levels_touched;
-      for (const std::size_t elem : kSoA)
-        soa_update_lines += 2 * lines_of(touched, elem);
-      aos_update_lines += 2 * lines_of(touched, kAoS);
+    edges.push_back(make_edge(u, v));
+  }
+  for (const Edge e : edges) {
+    params.plan_coord(codec.encode(e), +1, plan);
+    for (const VertexId vtx : {e.v, e.u}) {
+      aos.prepare_pages(vtx, plan.depth);
+      soa.prepare_pages(vtx, plan.depth);
     }
   }
 
-  // Merge path: one vertex's level-store page scanned end to end.
-  const auto page_lines = [&](std::size_t elem) {
-    return (cpl * elem + kLine - 1) / kLine;
+  // Census pass: per update, the distinct lines among the addresses the
+  // two layouts' apply loops dereference for that edge's plan.
+  std::vector<std::uintptr_t> soa_seen, aos_seen;  // reused per edge
+  const auto distinct = [](std::vector<std::uintptr_t>& lines) {
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    return static_cast<std::uint64_t>(lines.size());
   };
+  std::uint64_t soa_update_lines = 0, aos_update_lines = 0;
+  std::uint64_t levels_touched = 0;
+  for (const Edge e : edges) {
+    params.plan_coord(codec.encode(e), +1, plan);
+    soa_seen.clear();
+    aos_seen.clear();
+    const unsigned limit =
+        plan.depth < params.levels() ? plan.depth : params.levels() - 1;
+    for (unsigned j = 0; j <= limit; ++j) {
+      ++levels_touched;
+      const std::uint32_t* offsets =
+          plan.offsets.data() + static_cast<std::size_t>(j) * shape.rows;
+      const bool hot = j < soa.hot_levels();
+      const soa_ref::SoaBankArena::Store& store =
+          hot ? soa.hot() : *soa.overflow_at(j);
+      const std::size_t page_cells = hot ? soa.hot_cells() : cpl;
+      const std::size_t level_skip = hot ? j * cpl : 0;
+      for (const VertexId vtx : {e.v, e.u}) {
+        const std::span<const ArenaCell> records = aos.level_records(j, vtx);
+        const std::size_t base =
+            static_cast<std::size_t>(store.page_of[vtx]) * page_cells +
+            level_skip;
+        for (unsigned r = 0; r < shape.rows; ++r) {
+          const std::size_t off = offsets[r];
+          aos_seen.push_back(
+              reinterpret_cast<std::uintptr_t>(records.data() + off) / kLine);
+          const std::size_t cell = base + off;
+          soa_seen.push_back(
+              reinterpret_cast<std::uintptr_t>(&store.w[cell]) / kLine);
+          soa_seen.push_back(
+              reinterpret_cast<std::uintptr_t>(&store.s[cell]) / kLine);
+          soa_seen.push_back(
+              reinterpret_cast<std::uintptr_t>(&store.fp[cell]) / kLine);
+        }
+      }
+    }
+    soa_update_lines += distinct(soa_seen);
+    aos_update_lines += distinct(aos_seen);
+  }
+
+  // Merge path: one vertex's level-0 page scanned end to end, measured
+  // from the same real addresses (first byte through last of each array's
+  // page run, or of the record run for AoS).
+  const auto lines_in = [&](const void* first, std::size_t bytes) {
+    const std::uintptr_t lo = reinterpret_cast<std::uintptr_t>(first) / kLine;
+    const std::uintptr_t hi =
+        (reinterpret_cast<std::uintptr_t>(first) + bytes - 1) / kLine;
+    return static_cast<std::uint64_t>(hi - lo + 1);
+  };
+  const VertexId probe = edges.front().v;
+  const std::span<const ArenaCell> probe_records = aos.level_records(0, probe);
+  const std::size_t probe_base =
+      static_cast<std::size_t>(soa.hot().page_of[probe]) * soa.hot_cells();
+  const std::uint64_t aos_merge_lines =
+      lines_in(probe_records.data(), cpl * sizeof(ArenaCell));
   const std::uint64_t soa_merge_lines =
-      page_lines(kSoA[0]) + page_lines(kSoA[1]) + page_lines(kSoA[2]);
-  const std::uint64_t aos_merge_lines = page_lines(kAoS);
+      lines_in(&soa.hot().w[probe_base], cpl * sizeof(std::int64_t)) +
+      lines_in(&soa.hot().s[probe_base], cpl * sizeof(__int128)) +
+      lines_in(&soa.hot().fp[probe_base], cpl * sizeof(std::uint64_t));
 
   const double soa_per_update =
       static_cast<double>(soa_update_lines) / kEdges;
@@ -184,19 +236,22 @@ void sweep_cell_layout() {
   Table t({"layout", "bytes/cell", "lines/update (meas.)",
            "lines/page-merge", "sequential streams"});
   t.add_row()
-      .cell("SoA (current)")
-      .cell(static_cast<std::uint64_t>(kSoA[0] + kSoA[1] + kSoA[2]))
+      .cell("SoA (pre-switch ref)")
+      .cell(static_cast<std::uint64_t>(sizeof(std::int64_t) +
+                                       sizeof(__int128) +
+                                       sizeof(std::uint64_t)))
       .cell(soa_per_update, 2)
       .cell(soa_merge_lines)
       .cell("3 per store (prefetch-friendly)");
   t.add_row()
-      .cell("AoS")
-      .cell(static_cast<std::uint64_t>(kAoS))
+      .cell("AoS (current)")
+      .cell(static_cast<std::uint64_t>(sizeof(ArenaCell)))
       .cell(aos_per_update, 2)
       .cell(aos_merge_lines)
       .cell("1 per store");
   t.print(std::cout);
-  std::cout << "measured over " << kEdges << " random edges ("
+  std::cout << "measured from live arena addresses over " << kEdges
+            << " random edges ("
             << static_cast<double>(levels_touched) / kEdges
             << " levels touched per edge, both endpoints counted, "
             << shape.rows << "x" << shape.buckets << " grids)\n"
@@ -205,6 +260,7 @@ void sweep_cell_layout() {
             << "x fewer lines; merge path: identical bytes, but SoA streams "
                "3 sequential runs per store vs 1.\n";
 
+  json.set("cell_layout.method", std::string("measured-addresses"));
   json.set("cell_layout.edges_sampled", static_cast<std::uint64_t>(kEdges));
   json.set("cell_layout.levels_per_edge",
            static_cast<double>(levels_touched) / kEdges);

@@ -1,0 +1,235 @@
+// Frozen pre-switch SoA cell storage — the measurement baseline for the
+// AoS cell-layout change (ISSUE 10), used by bench_sketch_micro (realized
+// batched-ingest speedup) and bench_sketch_ablation E10c (measured
+// cache-line census).  NOT a production path: the library arena
+// (sketch/arena.h) is AoS now; this header preserves the exact storage
+// and hot-path walk it replaced — three parallel arrays (w / s / fp) per
+// store, hot + lazy overflow stores, page-map-only prefetch — so the
+// before/after is attributable to the layout alone.
+//
+// SoaRefSketches mirrors VertexSketches' seeding (same SplitMix64 bank
+// seeds, same codec) and its flat-grid batched ingest discipline
+// step-for-step: stage the batch, validate + encode once, a per-bank
+// canonical page-preparation pass, then a per-bank apply loop with the
+// one-edge-ahead prefetch.  For a fixed seed the cell VALUES equal the
+// production arena's bit-for-bit; only the bytes' arrangement differs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "graph/types.h"
+#include "sketch/coord.h"
+#include "sketch/graphsketch.h"
+#include "sketch/l0sampler.h"
+
+namespace streammpc::soa_ref {
+
+class SoaBankArena {
+ public:
+  static constexpr std::uint32_t kNoPage = ~0u;
+  static constexpr unsigned kHotLevels = 1;
+
+  // One page map plus SoA cell pages: three parallel arrays of `cells`
+  // entries per page.  Public so the E10c census can probe the real
+  // addresses an update touches.
+  struct Store {
+    std::vector<std::uint32_t> page_of;  // [vertex] -> page index or kNoPage
+    std::vector<std::int64_t> w;         // [page * cells + cell]
+    std::vector<__int128> s;
+    std::vector<std::uint64_t> fp;
+    std::vector<VertexId> owner;
+    std::uint32_t pages = 0;
+  };
+
+  SoaBankArena(VertexId n, const L0Params& params)
+      : n_(n),
+        levels_(params.levels()),
+        hot_levels_(params.levels() < kHotLevels ? params.levels()
+                                                 : kHotLevels),
+        rows_(params.shape().rows),
+        cells_per_level_(params.cells_per_level()),
+        hot_cells_(cells_per_level_ * hot_levels_),
+        overflow_(levels_ - hot_levels_) {}
+
+  void apply(VertexId v, Coord c, std::int64_t delta, const CoordPlan& plan,
+             bool negated) {
+    const __int128 s_delta = static_cast<__int128>(c) * delta;
+    const std::uint64_t* terms =
+        negated ? plan.term_neg.data() : plan.term_pos.data();
+    {
+      const std::size_t base =
+          static_cast<std::size_t>(page_for(hot_, v, hot_cells_)) * hot_cells_;
+      const unsigned top =
+          plan.depth < hot_levels_ ? plan.depth : hot_levels_ - 1;
+      for (unsigned j = 0; j <= top; ++j) {
+        const std::uint64_t term = terms[j];
+        const std::uint32_t* offsets =
+            plan.offsets.data() + static_cast<std::size_t>(j) * rows_;
+        const std::size_t level_base = base + j * cells_per_level_;
+        for (unsigned r = 0; r < rows_; ++r) {
+          const std::size_t cell = level_base + offsets[r];
+          hot_.w[cell] += delta;
+          hot_.s[cell] += s_delta;
+          hot_.fp[cell] = Mersenne61::add(hot_.fp[cell], term);
+        }
+      }
+    }
+    for (unsigned j = hot_levels_; j <= plan.depth; ++j) {
+      Store& store = overflow_[j - hot_levels_];
+      const std::size_t base =
+          static_cast<std::size_t>(page_for(store, v, cells_per_level_)) *
+          cells_per_level_;
+      const std::uint64_t term = terms[j];
+      const std::uint32_t* offsets =
+          plan.offsets.data() + static_cast<std::size_t>(j) * rows_;
+      for (unsigned r = 0; r < rows_; ++r) {
+        const std::size_t cell = base + offsets[r];
+        store.w[cell] += delta;
+        store.s[cell] += s_delta;
+        store.fp[cell] = Mersenne61::add(store.fp[cell], term);
+      }
+    }
+  }
+
+  void prepare_pages(VertexId v, unsigned depth) {
+    page_for(hot_, v, hot_cells_);
+    for (unsigned j = hot_levels_; j <= depth && j < levels_; ++j)
+      page_for(overflow_[j - hot_levels_], v, cells_per_level_);
+  }
+
+  // The SoA engine's ingest hint as shipped: page-map entries only.
+  void prefetch_hot(Edge e) const {
+    if (hot_.page_of.empty()) return;
+    __builtin_prefetch(hot_.page_of.data() + e.u);
+    __builtin_prefetch(hot_.page_of.data() + e.v);
+  }
+
+  std::uint64_t allocated_words() const {
+    std::uint64_t words = hot_.w.size() * 4 + hot_.page_of.size() / 2;
+    for (const Store& store : overflow_)
+      words += store.w.size() * 4 + store.page_of.size() / 2;
+    return words;
+  }
+
+  CoordPlan& plan_scratch() { return plan_; }
+
+  // --- census probes ---------------------------------------------------------
+  const Store& hot() const { return hot_; }
+  const Store* overflow_at(unsigned level) const {
+    return level >= hot_levels_ && level < levels_
+               ? &overflow_[level - hot_levels_]
+               : nullptr;
+  }
+  unsigned levels() const { return levels_; }
+  unsigned hot_levels() const { return hot_levels_; }
+  unsigned rows() const { return rows_; }
+  std::size_t cells_per_level() const { return cells_per_level_; }
+  std::size_t hot_cells() const { return hot_cells_; }
+
+ private:
+  std::uint32_t page_for(Store& store, VertexId v, std::size_t cells) {
+    if (store.page_of.empty()) store.page_of.assign(n_, kNoPage);
+    std::uint32_t page = store.page_of[v];
+    if (page == kNoPage) {
+      page = store.pages++;
+      store.page_of[v] = page;
+      store.owner.push_back(v);
+      const std::size_t size = static_cast<std::size_t>(store.pages) * cells;
+      store.w.resize(size, 0);
+      store.s.resize(size, 0);
+      store.fp.resize(size, 0);
+    }
+    return page;
+  }
+
+  VertexId n_;
+  unsigned levels_;
+  unsigned hot_levels_;
+  unsigned rows_;
+  std::size_t cells_per_level_;
+  std::size_t hot_cells_;
+  Store hot_;
+  std::vector<Store> overflow_;
+  CoordPlan plan_;
+};
+
+class SoaRefSketches {
+ public:
+  SoaRefSketches(VertexId n, const GraphSketchConfig& config)
+      : n_(n), codec_(n) {
+    SMPC_CHECK(config.banks >= 1);
+    SplitMix64 sm(config.seed);
+    params_.reserve(config.banks);
+    arenas_.reserve(config.banks);
+    for (unsigned b = 0; b < config.banks; ++b) {
+      params_.emplace_back(codec_.dimension(), config.shape, sm.next());
+      arenas_.emplace_back(n, params_.back());
+    }
+  }
+
+  void update_edge(Edge e, std::int64_t delta) {
+    const EdgeDelta one{e, delta};
+    update_edges(std::span<const EdgeDelta>(&one, 1));
+  }
+
+  // Serial flat-grid batched ingest, the production pipeline's shape on
+  // the SoA storage: stage (lower_flat's copy), validate + encode once,
+  // per-bank canonical preparation, per-bank apply with the
+  // one-edge-ahead prefetch.
+  void update_edges(std::span<const EdgeDelta> batch) {
+    staged_.assign(batch.begin(), batch.end());
+    coords_.resize(staged_.size());
+    for (std::size_t i = 0; i < staged_.size(); ++i) {
+      const Edge e = staged_[i].e;
+      SMPC_CHECK(e.u < e.v && e.v < n_);
+      coords_[i] = codec_.encode(e);
+    }
+    for (std::size_t b = 0; b < arenas_.size(); ++b) {
+      SoaBankArena& arena = arenas_[b];
+      const L0Params& params = params_[b];
+      for (std::size_t i = 0; i < staged_.size(); ++i) {
+        if (staged_[i].delta == 0) continue;
+        const unsigned depth = params.depth_of(coords_[i]);
+        arena.prepare_pages(staged_[i].e.v, depth);
+        arena.prepare_pages(staged_[i].e.u, depth);
+      }
+      CoordPlan& plan = arena.plan_scratch();
+      for (std::size_t i = 0; i < staged_.size(); ++i) {
+        const EdgeDelta& d = staged_[i];
+        if (d.delta == 0) continue;
+        if (i + 1 < staged_.size()) arena.prefetch_hot(staged_[i + 1].e);
+        const Coord c = coords_[i];
+        params.plan_coord(c, d.delta, plan);
+        arena.apply(d.e.v, c, d.delta, plan, /*negated=*/false);
+        arena.apply(d.e.u, c, -d.delta, plan, /*negated=*/true);
+      }
+    }
+  }
+
+  VertexId n() const { return n_; }
+  unsigned banks() const { return static_cast<unsigned>(params_.size()); }
+  const EdgeCoordCodec& codec() const { return codec_; }
+  const L0Params& params(unsigned bank) const { return params_[bank]; }
+  const SoaBankArena& arena(unsigned bank) const { return arenas_[bank]; }
+  SoaBankArena& arena(unsigned bank) { return arenas_[bank]; }
+
+  std::uint64_t allocated_words() const {
+    std::uint64_t total = 0;
+    for (const SoaBankArena& arena : arenas_) total += arena.allocated_words();
+    return total;
+  }
+
+ private:
+  VertexId n_;
+  EdgeCoordCodec codec_;
+  std::vector<L0Params> params_;
+  std::vector<SoaBankArena> arenas_;
+  std::vector<EdgeDelta> staged_;
+  std::vector<Coord> coords_;
+};
+
+}  // namespace streammpc::soa_ref

@@ -70,15 +70,17 @@ std::uint64_t ExecPlan::run(VertexSketches& sketches, ThreadPool* pool,
   // Sharded 3-D grid (machine x bank x shard): each cell's item stripe
   // tasks apply into per-(bank, shard) scratch arenas and merge back after
   // the grid — the hot-cell worst case (one machine's sub-batch in one
-  // bank) no longer serializes the pool.  Entered whenever the sketches
-  // are configured with shards > 1 and the batch clears the parallel
-  // threshold, even without a pool: the serial fallback then runs the
-  // canonical machine-major, bank, shard-ascending order.  Accounting is
+  // bank) no longer serializes the pool.  Entered whenever plan_shards
+  // picks S > 1 for this batch: a fixed configured shard count, or — in
+  // adaptive mode (shards = 0 / SMPC_SHARDS=auto) — a routed load skew
+  // that warrants striping.  Works even without a pool: the serial
+  // fallback then runs the canonical machine-major, bank,
+  // shard-ascending order.  Accounting is
   // untouched — charges and budget gates all happen outside run() — and
   // the merged bytes equal the 2-D grid's for every shard count.
-  const unsigned shards = sketches.plan_shards(routed.items.size());
+  const unsigned shards = sketches.plan_shards(routed);
   if (shards > 1) {
-    sketches.begin_shard_cells(routed, pool);
+    sketches.begin_shard_cells(routed, shards, pool);
     const std::size_t slots = cells * shards;
     cell_scratch_.assign(slots, 0);
     const auto run_shard = [&](std::size_t row, std::size_t bank,

@@ -24,10 +24,8 @@ std::uint32_t BankArena::page_for(Store& store, VertexId v,
     page = store.pages++;
     store.page_of[v] = page;
     store.owner.push_back(v);
-    const std::size_t size = static_cast<std::size_t>(store.pages) * cells;
-    store.w.resize(size, 0);
-    store.s.resize(size, 0);
-    store.fp.resize(size, 0);
+    // Fresh records value-initialize to the zero cell.
+    store.cells.resize(static_cast<std::size_t>(store.pages) * cells);
   }
   return page;
 }
@@ -42,38 +40,35 @@ void BankArena::apply(VertexId v, Coord c, std::int64_t delta,
   const std::uint64_t* terms =
       negated ? plan.term_neg.data() : plan.term_pos.data();
   // Hot prefix: one page lookup covers levels 0..min(depth, hot-1).
+  // Cell pointers are taken AFTER page_for — it may grow the record
+  // vector.
   {
-    const std::size_t base =
-        static_cast<std::size_t>(page_for(hot_, v, hot_cells_)) * hot_cells_;
+    const std::uint32_t page = page_for(hot_, v, hot_cells_);
+    ArenaCell* cells =
+        hot_.cells.data() + static_cast<std::size_t>(page) * hot_cells_;
     const unsigned top = plan.depth < hot_levels_ ? plan.depth
                                                   : hot_levels_ - 1;
     for (unsigned j = 0; j <= top; ++j) {
       const std::uint64_t term = terms[j];
       const std::uint32_t* offsets =
           plan.offsets.data() + static_cast<std::size_t>(j) * rows_;
-      const std::size_t level_base = base + j * cells_per_level_;
+      ArenaCell* level_cells = cells + j * cells_per_level_;
       for (unsigned r = 0; r < rows_; ++r) {
-        const std::size_t cell = level_base + offsets[r];
-        hot_.w[cell] += delta;
-        hot_.s[cell] += s_delta;
-        hot_.fp[cell] = Mersenne61::add(hot_.fp[cell], term);
+        level_cells[offsets[r]].add_delta(delta, s_delta, term);
       }
     }
   }
   // Rare deep levels (depth >= hot happens with probability 2^-hot).
   for (unsigned j = hot_levels_; j <= plan.depth; ++j) {
     Store& store = overflow_store(j);
-    const std::size_t base =
-        static_cast<std::size_t>(page_for(store, v, cells_per_level_)) *
-        cells_per_level_;
+    const std::uint32_t page = page_for(store, v, cells_per_level_);
+    ArenaCell* cells =
+        store.cells.data() + static_cast<std::size_t>(page) * cells_per_level_;
     const std::uint64_t term = terms[j];
     const std::uint32_t* offsets =
         plan.offsets.data() + static_cast<std::size_t>(j) * rows_;
     for (unsigned r = 0; r < rows_; ++r) {
-      const std::size_t cell = base + offsets[r];
-      store.w[cell] += delta;
-      store.s[cell] += s_delta;
-      store.fp[cell] = Mersenne61::add(store.fp[cell], term);
+      cells[offsets[r]].add_delta(delta, s_delta, term);
     }
   }
 }
@@ -90,9 +85,7 @@ void BankArena::snap_begin_store(StoreSnap& snap, const Store& store) {
   snap.had_map = !store.page_of.empty();
   snap.saved_mark.assign(store.pages, 0);
   snap.saved_pages.clear();
-  snap.saved_w.clear();
-  snap.saved_s.clear();
-  snap.saved_fp.clear();
+  snap.saved_cells.clear();
   snap.fresh_candidates.clear();
 }
 
@@ -106,16 +99,19 @@ void BankArena::snap_save_page(StoreSnap& snap, const Store& store, VertexId v,
     return;
   }
   const std::uint32_t page = store.page_of[v];
+  // A page at or past the watermark was allocated after snapshot_begin;
+  // rollback deallocates it wholesale, so there is no pre-image to save
+  // (and saved_mark, sized at the watermark, must not be indexed by it).
+  if (page >= snap.watermark) {
+    snap.fresh_candidates.push_back(v);
+    return;
+  }
   if (snap.saved_mark[page]) return;  // first save wins — it IS the pre-image
   snap.saved_mark[page] = 1;
   snap.saved_pages.push_back(page);
   const std::size_t base = static_cast<std::size_t>(page) * cells;
-  snap.saved_w.insert(snap.saved_w.end(), store.w.begin() + base,
-                      store.w.begin() + base + cells);
-  snap.saved_s.insert(snap.saved_s.end(), store.s.begin() + base,
-                      store.s.begin() + base + cells);
-  snap.saved_fp.insert(snap.saved_fp.end(), store.fp.begin() + base,
-                       store.fp.begin() + base + cells);
+  snap.saved_cells.insert(snap.saved_cells.end(), store.cells.begin() + base,
+                          store.cells.begin() + base + cells);
 }
 
 void BankArena::snap_rollback_store(StoreSnap& snap, Store& store,
@@ -124,12 +120,9 @@ void BankArena::snap_rollback_store(StoreSnap& snap, Store& store,
     const std::size_t dst =
         static_cast<std::size_t>(snap.saved_pages[i]) * cells;
     const std::size_t src = i * cells;
-    std::copy(snap.saved_w.begin() + src, snap.saved_w.begin() + src + cells,
-              store.w.begin() + dst);
-    std::copy(snap.saved_s.begin() + src, snap.saved_s.begin() + src + cells,
-              store.s.begin() + dst);
-    std::copy(snap.saved_fp.begin() + src, snap.saved_fp.begin() + src + cells,
-              store.fp.begin() + dst);
+    std::copy(snap.saved_cells.begin() + src,
+              snap.saved_cells.begin() + src + cells,
+              store.cells.begin() + dst);
   }
   if (!store.page_of.empty()) {
     for (const VertexId v : snap.fresh_candidates) {
@@ -138,10 +131,7 @@ void BankArena::snap_rollback_store(StoreSnap& snap, Store& store,
     }
   }
   store.pages = snap.watermark;
-  const std::size_t size = static_cast<std::size_t>(store.pages) * cells;
-  store.w.resize(size);
-  store.s.resize(size);
-  store.fp.resize(size);
+  store.cells.resize(static_cast<std::size_t>(store.pages) * cells);
   store.owner.resize(store.pages);
   if (!snap.had_map) store.page_of.clear();
 }
@@ -226,10 +216,10 @@ void BankArena::merge_groups(const L0Params& params,
         SMPC_CHECK(v < n_);
         const std::uint32_t page = hot_.page_of[v];
         if (page == kNoPage) continue;
-        const std::size_t base = static_cast<std::size_t>(page) * hot_cells_;
+        const ArenaCell* cells =
+            hot_.cells.data() + static_cast<std::size_t>(page) * hot_cells_;
         for (std::size_t c = 0; c < hot_cells_; ++c) {
-          dst[c].add_raw(hot_.w[base + c], hot_.s[base + c],
-                         hot_.fp[base + c]);
+          dst[c].add_raw(cells[c].w, cells[c].s(), cells[c].fp);
         }
         touched = true;
       }
@@ -248,11 +238,11 @@ void BankArena::merge_groups(const L0Params& params,
         SMPC_CHECK(v < n_);
         const std::uint32_t page = store.page_of[v];
         if (page == kNoPage) continue;
-        const std::size_t base =
-            static_cast<std::size_t>(page) * cells_per_level_;
+        const ArenaCell* cells = store.cells.data() +
+                                 static_cast<std::size_t>(page) *
+                                     cells_per_level_;
         for (std::size_t c = 0; c < cells_per_level_; ++c) {
-          dst[c].add_raw(store.w[base + c], store.s[base + c],
-                         store.fp[base + c]);
+          dst[c].add_raw(cells[c].w, cells[c].s(), cells[c].fp);
         }
         touched = true;
       }
@@ -269,9 +259,7 @@ void BankArena::reset() {
     for (const VertexId v : store.owner) store.page_of[v] = kNoPage;
     store.owner.clear();
     store.pages = 0;
-    store.w.clear();  // page_for re-zeroes on growth; capacity retained
-    store.s.clear();
-    store.fp.clear();
+    store.cells.clear();  // page_for re-zeroes on growth; capacity retained
   };
   reset_store(hot_);
   for (Store& store : overflow_) reset_store(store);
@@ -286,14 +274,21 @@ void BankArena::merge_from(const BankArena& src) {
                                std::size_t cells) {
     for (std::uint32_t p = 0; p < source.pages; ++p) {
       const VertexId v = source.owner[p];
-      const std::size_t src_base = static_cast<std::size_t>(p) * cells;
-      const std::size_t dst_base =
-          static_cast<std::size_t>(page_for(dst, v, cells)) * cells;
+      // page_for may grow dst.cells — take the dst pointer after it.  The
+      // source walk is sequential, so hint the next page's first record
+      // one fold ahead (dst pages land wherever v hashes; the source side
+      // is the predictable stream).
+      const std::uint32_t dst_page = page_for(dst, v, cells);
+      const ArenaCell* src_cells =
+          source.cells.data() + static_cast<std::size_t>(p) * cells;
+      ArenaCell* dst_cells =
+          dst.cells.data() + static_cast<std::size_t>(dst_page) * cells;
+      if (p + 1 < source.pages) {
+        __builtin_prefetch(source.cells.data() +
+                           static_cast<std::size_t>(p + 1) * cells);
+      }
       for (std::size_t c = 0; c < cells; ++c) {
-        dst.w[dst_base + c] += source.w[src_base + c];
-        dst.s[dst_base + c] += source.s[src_base + c];
-        dst.fp[dst_base + c] =
-            Mersenne61::add(dst.fp[dst_base + c], source.fp[src_base + c]);
+        dst_cells[c].accumulate(src_cells[c]);
       }
     }
   };
@@ -317,14 +312,29 @@ L0Sampler BankArena::extract(const L0Params& params, VertexId v) const {
 }
 
 std::uint64_t BankArena::allocated_words() const {
-  // A cell is 4 words (w 1, s 2, fp 1); page maps count half a word per
-  // vertex entry.
-  std::uint64_t words = hot_.w.size() * 4 + hot_.page_of.size() / 2;
+  // A cell record is 4 words (w 1, s 2, fp 1); page maps count half a
+  // word per vertex entry.  Identical accounting to the SoA layout.
+  std::uint64_t words = hot_.cells.size() * 4 + hot_.page_of.size() / 2;
   for (const Store& store : overflow_) {
-    words += store.w.size() * 4;
+    words += store.cells.size() * 4;
     words += store.page_of.size() / 2;
   }
   return words;
+}
+
+std::span<const ArenaCell> BankArena::level_records(unsigned level,
+                                                    VertexId v) const {
+  SMPC_CHECK(level < levels_ && v < n_);
+  const Store& store =
+      level < hot_levels_ ? hot_ : overflow_[level - hot_levels_];
+  if (store.page_of.empty() || store.page_of[v] == kNoPage) return {};
+  const std::size_t page_cells =
+      level < hot_levels_ ? hot_cells_ : cells_per_level_;
+  const std::size_t within =
+      level < hot_levels_ ? level * cells_per_level_ : 0;
+  return {store.cells.data() +
+              static_cast<std::size_t>(store.page_of[v]) * page_cells + within,
+          cells_per_level_};
 }
 
 }  // namespace streammpc

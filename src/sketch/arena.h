@@ -4,21 +4,28 @@
 // sampler owning vector<SSparseRecovery> owning vector<OneSparseCell> —
 // three levels of pointer chasing and one small heap allocation per
 // (vertex, level) on the edge-update hot path.  The arena replaces that
-// with contiguous structure-of-arrays cell storage, split by level depth
-// to match the geometric level distribution (depth >= j with probability
-// 2^-j, so almost every update ends within the first few levels):
+// with contiguous cell storage, split by level depth to match the
+// geometric level distribution (depth >= j with probability 2^-j, so
+// almost every update ends within the first few levels):
 //
 //   * a *hot store*: one page map (vertex -> page, kNoPage when untouched)
-//     and three parallel arrays (w, s, fp) of per-vertex pages covering
+//     and a packed array of ArenaCell records of per-vertex pages covering
 //     levels 0..kHotLevels-1 — cell (vertex, level, row, bucket) lives at
 //     page(vertex) * hot_cells + level * rows * buckets + row * buckets +
 //     bucket, so ~94% of updates resolve with a single map lookup into one
 //     contiguous page;
-//   * *overflow stores*: one lazily created (map + arrays) store per deep
+//   * *overflow stores*: one lazily created (map + records) store per deep
 //     level >= kHotLevels, allocation granularity matching the seed's lazy
 //     per-(vertex, level) grids, so rare deep levels never force a full
 //     O(log n)-level page and total memory stays ~O(n);
 //   * empty vertices cost one kNoPage map entry and nothing else.
+//
+// Cell layout is AoS (one 32-byte record per cell) rather than the
+// earlier three SoA parallel arrays: an edge update touches every field
+// of each cell it hits, so the record layout costs ONE cache line per
+// (cell row) instead of three (w, s, fp lived ~pages apart).  E10c
+// measures ~24 lines per update under SoA vs ~8 under AoS at the default
+// 2x8 geometry; merges walk pages sequentially either way and tie.
 //
 // Banks share no state, which is what makes batched ingest embarrassingly
 // parallel across banks (see VertexSketches::update_edges).  All cell
@@ -34,6 +41,47 @@
 #include "sketch/l0sampler.h"
 
 namespace streammpc {
+
+// One sketch cell as a packed 32-byte record: {w, s_lo, s_hi, fp}.
+// The s accumulator is a signed __int128 stored as two uint64_t halves
+// and recombined at the field boundary — embedding a __int128 member
+// directly would give the record 16-byte alignment and (with the three
+// 8-byte neighbors) 48 bytes of padded size.  alignas(32) keeps sizeof
+// at 32 AND guarantees a record never straddles a 64-byte cache line,
+// so the update hot path pays exactly one line per cell row.
+struct alignas(32) ArenaCell {
+  std::int64_t w = 0;       // sum of applied deltas
+  std::uint64_t s_lo = 0;   // low half of the __int128 coord-weighted sum
+  std::uint64_t s_hi = 0;   // high half (two's complement)
+  std::uint64_t fp = 0;     // Mersenne-61 fingerprint accumulator
+
+  __int128 s() const {
+    return static_cast<__int128>(
+        (static_cast<unsigned __int128>(s_hi) << 64) | s_lo);
+  }
+  void set_s(__int128 value) {
+    const auto bits = static_cast<unsigned __int128>(value);
+    s_lo = static_cast<std::uint64_t>(bits);
+    s_hi = static_cast<std::uint64_t>(bits >> 64);
+  }
+  // apply()'s per-cell arithmetic: w and s by integer addition, fp in
+  // the Mersenne-61 field.  Identical to OneSparseCell::add_term.
+  void add_delta(std::int64_t dw, __int128 ds, std::uint64_t term) {
+    w += dw;
+    set_s(s() + ds);
+    fp = Mersenne61::add(fp, term);
+  }
+  // Cell-wise sum (the merge_from fold).  Cells are linear, so this
+  // commutes with add_delta in any interleaving.
+  void accumulate(const ArenaCell& other) {
+    w += other.w;
+    set_s(s() + other.s());
+    fp = Mersenne61::add(fp, other.fp);
+  }
+};
+static_assert(sizeof(ArenaCell) == 32, "cell record must stay 32B packed");
+static_assert(alignof(ArenaCell) == 32,
+              "cell records must never straddle a cache line");
 
 class BankArena {
  public:
@@ -77,18 +125,18 @@ class BankArena {
   //   ...prepare_pages + apply as usual...
   //   rollback_pages() or snapshot_commit();
   //
-  // snapshot_pages saves the pre-image cells of every already-allocated
-  // page an apply(v, <= depth) would touch (first save wins; all saves
-  // happen before any apply, so every saved image is the true pre-batch
-  // state) and remembers v as a fresh-page candidate otherwise.  Pages
-  // allocated after snapshot_begin are recognized by the watermark, so
-  // rollback restores saved images, truncates each store back to its
-  // watermark, and clears the fresh candidates' page-map entries — leaving
-  // the arena byte-identical to the snapshot point.  The contract that
-  // makes this exact is the grid discipline prepare_pages already
-  // guarantees: every page the batch touches is allocated during the
-  // preparation pass over exactly the (vertex, depth) set the snapshot
-  // walked.
+  // snapshot_pages saves the pre-image cell records of every
+  // already-allocated page an apply(v, <= depth) would touch (first save
+  // wins; all saves happen before any apply, so every saved image is the
+  // true pre-batch state) and remembers v as a fresh-page candidate
+  // otherwise.  Pages allocated after snapshot_begin are recognized by the
+  // watermark, so rollback restores saved images record-wise, truncates
+  // each store back to its watermark, and clears the fresh candidates'
+  // page-map entries — leaving the arena byte-identical to the snapshot
+  // point.  The contract that makes this exact is the grid discipline
+  // prepare_pages already guarantees: every page the batch touches is
+  // allocated during the preparation pass over exactly the (vertex, depth)
+  // set the snapshot walked.
   void snapshot_begin();
   void snapshot_pages(VertexId v, unsigned depth);
   void rollback_pages();
@@ -105,12 +153,12 @@ class BankArena {
   // level, and within a store all groups are resolved together, so one
   // Boruvka level's worth of groups costs one pass over the arena instead
   // of one arena walk per group (untouched deep levels are skipped once for
-  // everybody, and each store's page map and cell arrays stay cache-resident
-  // across groups).  `members` concatenates the groups' vertex lists;
-  // `offsets` is the CSR boundary array (offsets.size() == outs.size() + 1,
-  // offsets.back() == members.size()).  Each outs[g] is reset first and its
-  // buffer reused.  Cell sums commute, so the result equals merge_into per
-  // group exactly.
+  // everybody, and each store's page map and cell records stay
+  // cache-resident across groups).  `members` concatenates the groups'
+  // vertex lists; `offsets` is the CSR boundary array (offsets.size() ==
+  // outs.size() + 1, offsets.back() == members.size()).  Each outs[g] is
+  // reset first and its buffer reused.  Cell sums commute, so the result
+  // equals merge_into per group exactly.
   void merge_groups(const L0Params& params, std::span<const VertexId> members,
                     std::span<const std::uint32_t> offsets,
                     std::span<L0Sampler> outs) const;
@@ -140,13 +188,58 @@ class BankArena {
   // per-bank merges may run concurrently.
   void merge_from(const BankArena& src);
 
-  // Hints the hot page-map entries of an upcoming edge's endpoints into
-  // cache; the ingest loop calls this one edge ahead so the map lookups
-  // in apply() overlap with the current edge's hash computation.
-  void prefetch(Edge e) const {
+  // Hints an upcoming edge's hot-path lines into cache; the ingest loop
+  // calls this one edge ahead so the loads overlap with the current
+  // edge's hash computation.  Two-stage: the page-map entries first, then
+  // — when the endpoints already own hot pages — the first cell record of
+  // each page, so the record line streams in behind the map line.  The
+  // map reads here are plain loads (safe: a non-empty map is fully
+  // sized), typically hitting the line the previous edge's map prefetch
+  // pulled.
+  void prefetch_hot(Edge e) const {
     if (hot_.page_of.empty()) return;
-    __builtin_prefetch(hot_.page_of.data() + e.u);
-    __builtin_prefetch(hot_.page_of.data() + e.v);
+    const std::uint32_t* map = hot_.page_of.data();
+    __builtin_prefetch(map + e.u);
+    __builtin_prefetch(map + e.v);
+    const ArenaCell* cells = hot_.cells.data();
+    const std::uint32_t pu = map[e.u];
+    const std::uint32_t pv = map[e.v];
+    if (pu != kNoPage)
+      __builtin_prefetch(cells + static_cast<std::size_t>(pu) * hot_cells_);
+    if (pv != kNoPage)
+      __builtin_prefetch(cells + static_cast<std::size_t>(pv) * hot_cells_);
+  }
+
+  // Exact-cell prefetch for a PLANNED upcoming update: hints, with write
+  // intent, every record — hot and overflow — that apply(e.v)/apply(e.u)
+  // with this plan will touch.  This is the strong form of the ingest hint the AoS record
+  // makes worthwhile: one 32-byte record per (level, row) is one line, so
+  // the plan's offsets name the exact lines — under SoA the same
+  // information cost three lines per cell and the hint was left at the
+  // page map.  The pipelined ingest loops (ingest_cell / ingest_cell_shard
+  // / DeltaSketch::accumulate) call prefetch_hot for item i+1 BEFORE
+  // hashing its plan and this AFTER, so the map demand-reads here land on
+  // lines already in flight and the record lines arrive while item i
+  // applies.
+  // Deepening this hint from "overflow map only" to the exact overflow
+  // records is what moved the measured layout speedup from ~1.2x to
+  // ~1.7x: about half the items carry depth >= 1, and their overflow
+  // cell misses otherwise serialize behind the hot-level applies.  The
+  // level walk goes through level_records on purpose — one page lookup
+  // and one branch per (level, endpoint) ahead of a straight-line
+  // prefetch burst measured faster than per-row page-presence tests.
+  void prefetch_planned(Edge e, const CoordPlan& plan) const {
+    const unsigned limit = plan.depth < levels_ ? plan.depth : levels_ - 1;
+    for (unsigned j = 0; j <= limit; ++j) {
+      const std::uint32_t* offsets =
+          plan.offsets.data() + static_cast<std::size_t>(j) * rows_;
+      for (const VertexId vtx : {e.v, e.u}) {
+        const std::span<const ArenaCell> records = level_records(j, vtx);
+        if (records.empty()) continue;
+        for (unsigned r = 0; r < rows_; ++r)
+          __builtin_prefetch(records.data() + offsets[r], 1);
+      }
+    }
   }
 
   // Words of cell and page-map storage currently allocated.
@@ -156,33 +249,36 @@ class BankArena {
   // a buffer.
   CoordPlan& plan_scratch() { return plan_; }
 
+  // Read-only view of vertex v's cells_per_level records at `level`
+  // (empty span when the vertex owns no page there).  Layout-inspection
+  // hook for the byte-exactness tests and the measured E10c cache-line
+  // census; not on any hot path.
+  std::span<const ArenaCell> level_records(unsigned level, VertexId v) const;
+  unsigned levels() const { return levels_; }
+
  private:
   static constexpr std::uint32_t kNoPage = ~0u;
   // Levels resolved through the single hot page map; depth >= kHotLevels
   // has probability 2^-kHotLevels.
   static constexpr unsigned kHotLevels = 1;
 
-  // One page map plus SoA cell pages of `cells` cells each.
+  // One page map plus packed cell-record pages of `cells` records each.
   struct Store {
     std::vector<std::uint32_t> page_of;  // [vertex] -> page index or kNoPage
-    std::vector<std::int64_t> w;         // [page * cells + cell]
-    std::vector<__int128> s;
-    std::vector<std::uint64_t> fp;
+    std::vector<ArenaCell> cells;        // [page * cells + cell]
     std::vector<VertexId> owner;  // [page] -> owning vertex (reverse map)
     std::uint32_t pages = 0;
   };
 
   // Per-store snapshot: the page watermark at snapshot_begin, saved
-  // pre-images of pages the batch will touch, and the vertices that may
-  // receive fresh (post-watermark) pages.
+  // pre-image records of pages the batch will touch, and the vertices
+  // that may receive fresh (post-watermark) pages.
   struct StoreSnap {
     std::uint32_t watermark = 0;  // store.pages at snapshot_begin
     bool had_map = false;         // page_of was populated at snapshot_begin
-    std::vector<char> saved_mark;          // [page < watermark] image saved
+    std::vector<char> saved_mark;            // [page < watermark] image saved
     std::vector<std::uint32_t> saved_pages;  // pages with saved images
-    std::vector<std::int64_t> saved_w;       // images, `cells` per page
-    std::vector<__int128> saved_s;
-    std::vector<std::uint64_t> saved_fp;
+    std::vector<ArenaCell> saved_cells;      // images, `cells` records/page
     std::vector<VertexId> fresh_candidates;  // had no page at snapshot time
   };
 

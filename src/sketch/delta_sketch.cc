@@ -55,15 +55,27 @@ std::uint64_t DeltaSketch::accumulate(const mpc::RoutedBatch& routed) {
   for (unsigned b = 0; b < banks(); ++b) {
     BankArena& arena = arenas_[b];
     const L0Params& params = resident_->params(b);
-    CoordPlan& plan = arena.plan_scratch();
+    // Software-pipelined apply (see ingest_cell / prefetch_planned): hash
+    // and hint item i+1's exact cell records while item i applies into
+    // lines prefetched one iteration ago.  Coalescing already dropped
+    // zero-delta items, so every slot is live and the pipeline has no
+    // skip path.  Apply order is untouched — bytes are identical.
+    CoordPlan* cur = &arena.plan_scratch();
+    CoordPlan* next = &plan_ahead_;
     for (std::size_t i = 0; i < out; ++i) {
       const CoalescedItem& item = coalesce_scratch_[i];
-      if (i + 1 < out) arena.prefetch(coalesce_scratch_[i + 1].e);
-      params.plan_coord(item.c, item.delta, plan);
+      if (i == 0) params.plan_coord(item.c, item.delta, *cur);
+      if (i + 1 < out) {
+        const CoalescedItem& peek = coalesce_scratch_[i + 1];
+        arena.prefetch_hot(peek.e);
+        params.plan_coord(peek.c, peek.delta, *next);
+        arena.prefetch_planned(peek.e, *next);
+      }
       if (item.endpoints & mpc::RoutedBatch::kEndpointV)
-        arena.apply(item.e.v, item.c, item.delta, plan, /*negated=*/false);
+        arena.apply(item.e.v, item.c, item.delta, *cur, /*negated=*/false);
       if (item.endpoints & mpc::RoutedBatch::kEndpointU)
-        arena.apply(item.e.u, item.c, -item.delta, plan, /*negated=*/true);
+        arena.apply(item.e.u, item.c, -item.delta, *cur, /*negated=*/true);
+      std::swap(cur, next);
     }
   }
   // applied() reports the full batch — the delivery count must not depend

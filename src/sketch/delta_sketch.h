@@ -77,6 +77,9 @@ class DeltaSketch {
   const VertexSketches* resident_;
   std::vector<BankArena> arenas_;
   std::vector<CoalescedItem> coalesce_scratch_;
+  // Lookahead buffer for accumulate()'s software-pipelined apply loop
+  // (pairs with each arena's plan_scratch()).
+  CoordPlan plan_ahead_;
   std::uint64_t applied_ = 0;
 };
 

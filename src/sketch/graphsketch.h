@@ -13,8 +13,8 @@
 // that each query uses fresh randomness.
 //
 // Storage and ingest (this repo's performance layer, see DESIGN.md):
-//   * each bank's cells live in a flat SoA arena (sketch/arena.h) instead
-//     of nested per-vertex vectors;
+//   * each bank's cells live in a flat arena of packed 32-byte AoS records
+//     (sketch/arena.h) instead of nested per-vertex vectors;
 //   * ALL ingest lowers to one pipeline (mpc::ExecPlan): the batch —
 //     flat span or routed CSR — becomes a (machines x banks) cell grid,
 //     executed as a deterministic canonical-order page-preparation pass
@@ -66,10 +66,13 @@ struct GraphSketchConfig {
   // shards that apply concurrently into private BankArenas and merge back
   // after the grid (exact, by cell linearity) — the hot-cell worst case
   // (star / power-law streams concentrating one machine's sub-batch) no
-  // longer serializes the pool behind a single cell.  0 = auto (the
-  // SMPC_SHARDS environment knob via common/env.h, else 1); 1 = the 2-D
-  // grid.  Purely intra-machine parallelism: sketch bytes, CommLedger
-  // charges, and Simulator budget checks never depend on this value.
+  // longer serializes the pool behind a single cell.  >= 1 fixes S; 0
+  // defers to the SMPC_SHARDS environment knob (common/env.h): a number
+  // fixes S, while "auto" — or the knob unset/invalid — selects ADAPTIVE
+  // per-batch sharding, where plan_shards(routed) derives S from the
+  // batch's routed load skew (see VertexSketches::plan_shards).  Purely
+  // intra-machine parallelism: sketch bytes, CommLedger charges, and
+  // Simulator budget checks never depend on this value.
   unsigned shards = 0;
 };
 
@@ -176,22 +179,48 @@ class VertexSketches {
   // numbering is untouched: begin_routed_cells' canonical preparation pass
   // still sizes the resident arenas, and the merge allocates nothing.
 
-  // Shard count configured for this sketch (>= 1, resolved at construction
-  // from GraphSketchConfig::shards / SMPC_SHARDS).
-  unsigned shards() const { return shards_; }
-  // Shard count ExecPlan::run should use for a batch of `items` routed
-  // items: shards() when sharding is on and the batch clears the parallel
-  // threshold, else 1 (single updates keep the 2-D fast path).
-  unsigned plan_shards(std::size_t items) const;
+  // Hard ceiling on any shard count, fixed or adaptive: the scratch side
+  // costs banks x S arenas, and stripes thinner than a few items buy
+  // nothing.
+  static constexpr unsigned kShardCap = 256;
 
-  // Prepares the scratch side of the 3-D grid for `routed`: lazily builds
-  // the banks() x shards() scratch arenas, resets each (O(touched pages),
-  // DeltaSketch's reuse discipline), and pre-allocates — per (bank, shard)
-  // task, walking machines ascending over stripe s — every scratch page
-  // any (m, b, s) task will touch.  Requires begin_routed_cells(routed)
-  // first (reuses its encoded coordinates).  The (bank, shard) tasks share
-  // nothing and fan across `pool`.
-  void begin_shard_cells(const mpc::RoutedBatch& routed,
+  // Fixed shard count resolved at construction (>= 1, from
+  // GraphSketchConfig::shards / SMPC_SHARDS); stays 1 in adaptive mode,
+  // where the per-batch count comes from plan_shards(routed) instead.
+  unsigned shards() const { return shards_; }
+  // True when shard counts are selected adaptively per batch from the
+  // routed load skew (GraphSketchConfig::shards == 0 with SMPC_SHARDS
+  // unset or "auto").
+  bool adaptive_shards() const { return auto_shards_; }
+  // Shard count ExecPlan::run should use for a batch of `items` routed
+  // items under a FIXED shard configuration: shards() when sharding is on
+  // and the batch clears the parallel threshold, else 1 (single updates
+  // keep the 2-D fast path).  Adaptive mode always answers 1 here — it
+  // needs the batch itself, not just its size.
+  unsigned plan_shards(std::size_t items) const;
+  // Per-batch shard count for `routed` — THE planner ExecPlan::run calls.
+  // Fixed mode defers to plan_shards(items).  Adaptive mode derives S from
+  // the routed load skew: skew = ceil(max-machine-load / mean-load) over
+  // the machines with nonzero load, S = the smallest power of two >= skew,
+  // clamped to [1, kShardCap] (a uniform batch keeps the 2-D grid; a star
+  // stream concentrating one machine's sub-batch gets striped wide).
+  // Deterministic — a pure function of load_words — and logged: the
+  // decision lands in last_planned_shards() / auto_sharded_batches().
+  unsigned plan_shards(const mpc::RoutedBatch& routed);
+  // The S the most recent plan_shards(routed) picked (1 before any call).
+  unsigned last_planned_shards() const { return last_planned_shards_; }
+  // Number of batches the adaptive planner striped (picked S > 1).
+  std::uint64_t auto_sharded_batches() const { return auto_sharded_batches_; }
+
+  // Prepares the scratch side of the 3-D grid for `routed` at `shards`
+  // stripes: lazily builds (and widens, in adaptive mode) the banks() x
+  // shards scratch arenas, resets each (O(touched pages), DeltaSketch's
+  // reuse discipline), and pre-allocates — per (bank, shard) task, walking
+  // machines ascending over stripe s — every scratch page any (m, b, s)
+  // task will touch.  Requires begin_routed_cells(routed) first (reuses
+  // its encoded coordinates).  The (bank, shard) tasks share nothing and
+  // fan across `pool`.
+  void begin_shard_cells(const mpc::RoutedBatch& routed, unsigned shards,
                          ThreadPool* pool = nullptr);
 
   // One 3-D grid task: applies stripe `shard` of machine `machine`'s CSR
@@ -281,6 +310,10 @@ class VertexSketches {
   L0Sampler sampler(unsigned bank, VertexId v) const {
     return arenas_[bank].extract(params_[bank], v);
   }
+  // Read-only view of bank `bank`'s resident arena — the record-level
+  // inspection hook (BankArena::level_records) for the byte-exactness
+  // tests and the measured cache-line census; not a query API.
+  const BankArena& arena(unsigned bank) const { return arenas_[bank]; }
 
   // --- mutation epoch (query-cache invalidation) -----------------------------
   // Monotone count of sketch mutation events.  Bumped by the unified
@@ -312,8 +345,11 @@ class VertexSketches {
 
   VertexId n_;
   EdgeCoordCodec codec_;
+  // Declared before ingest_threads_: thread resolution sizes the pool from
+  // the fixed shard count.
+  unsigned shards_;   // fixed shard count (>= 1); stays 1 in adaptive mode
+  bool auto_shards_;  // adaptive per-batch selection (see plan_shards)
   unsigned ingest_threads_;
-  unsigned shards_;  // resolved (>= 1); see GraphSketchConfig::shards
   std::vector<L0Params> params_;   // one per bank
   std::vector<BankArena> arenas_;  // one per bank
   std::vector<Coord> coord_scratch_;
@@ -331,12 +367,21 @@ class VertexSketches {
   const mpc::RoutedBatch* cells_ready_batch_ = nullptr;
   std::size_t cells_ready_items_ = kCellsNotReady;
   // 3-D sharded-grid state: per-(bank, shard) scratch arenas (lazily built
-  // on the first sharded batch, reset-and-reused after), per-(machine,
-  // bank, shard) plan scratch, and whether begin_shard_cells has prepared
-  // the current cells-ready batch.
-  std::vector<BankArena> shard_scratch_;  // [bank * shards_ + shard]
-  std::vector<CoordPlan> shard_plans_;  // [(machine*banks + bank)*shards_ + s]
+  // on the first sharded batch at the batch's stripe count, widened when a
+  // later batch plans more stripes, reset-and-reused otherwise),
+  // per-(machine, bank, shard) plan scratch, and whether begin_shard_cells
+  // has prepared the current cells-ready batch.  `active_shards_` is the S
+  // the prepared batch runs at (adaptive mode varies it per batch);
+  // `scratch_stride_` the allocated per-bank scratch width (>= any
+  // active_shards_ seen so far).
+  std::vector<BankArena> shard_scratch_;  // [bank * scratch_stride_ + shard]
+  std::vector<CoordPlan> shard_plans_;  // [(machine*banks + bank)*S + shard]
+  unsigned active_shards_ = 1;
+  unsigned scratch_stride_ = 0;
   bool shard_cells_ready_ = false;
+  // Adaptive-planner log (see plan_shards(routed)).
+  unsigned last_planned_shards_ = 1;
+  std::uint64_t auto_sharded_batches_ = 0;
   mpc::ExecPlan exec_plan_;  // the update_edges lowering, buffers reused
   std::uint64_t mutation_epoch_ = 0;  // see mutation_epoch()
 };

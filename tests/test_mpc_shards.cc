@@ -4,7 +4,10 @@
 // shards {1, 2, 4, 8} x modes {flat, routed, simulated} x threads
 // {1, 2, 8}; the canonical serial order of the 3-D fallback; the hot-cell
 // adversarial streams the shard axis exists for; the SMPC_SHARDS
-// resolution rules; and composition with the adaptive batch scheduler
+// resolution rules (including the adaptive "auto" mode, whose per-batch
+// shard count must follow the documented load-skew formula and stay
+// byte-identical to the fixed baseline); and composition with the
+// adaptive batch scheduler
 // (sharding is intra-machine only, so the probe/split geometry must not
 // move by a single round).
 #include <gtest/gtest.h>
@@ -325,6 +328,163 @@ TEST(ShardConfig, SingleUpdatesKeepTheTwoDimensionalFastPath) {
   GraphSketchConfig off = cfg;
   off.shards = 1;
   EXPECT_EQ(VertexSketches(64, off).plan_shards(1 << 20), 1u);
+}
+
+// ---------------- adaptive (SMPC_SHARDS=auto) planning -----------------------
+
+TEST(ShardConfig, AutoModeResolvesFromEnvAndConfig) {
+  const VertexId n = 32;
+  GraphSketchConfig cfg;
+  cfg.banks = 2;
+  cfg.seed = 91401;
+  const EnvGuard guard("SMPC_SHARDS");
+
+  // The literal "auto" — and the knob unset — select per-batch adaptive
+  // planning: shards() stays 1 (small or uniform batches keep the 2-D
+  // grid), the adaptive bit turns on.
+  ASSERT_EQ(setenv("SMPC_SHARDS", "auto", 1), 0);
+  {
+    const VertexSketches vs(n, cfg);
+    EXPECT_TRUE(vs.adaptive_shards());
+    EXPECT_EQ(vs.shards(), 1u);
+    EXPECT_EQ(vs.last_planned_shards(), 1u);
+    EXPECT_EQ(vs.auto_sharded_batches(), 0u);
+  }
+  ASSERT_EQ(unsetenv("SMPC_SHARDS"), 0);
+  EXPECT_TRUE(VertexSketches(n, cfg).adaptive_shards());
+
+  // A numeric env pins a fixed count — no adaptive planning.
+  ASSERT_EQ(setenv("SMPC_SHARDS", "4", 1), 0);
+  {
+    const VertexSketches vs(n, cfg);
+    EXPECT_FALSE(vs.adaptive_shards());
+    EXPECT_EQ(vs.shards(), 4u);
+  }
+
+  // An explicit config count wins over SMPC_SHARDS=auto.
+  ASSERT_EQ(setenv("SMPC_SHARDS", "auto", 1), 0);
+  GraphSketchConfig pinned = cfg;
+  pinned.shards = 2;
+  {
+    const VertexSketches vs(n, pinned);
+    EXPECT_FALSE(vs.adaptive_shards());
+    EXPECT_EQ(vs.shards(), 2u);
+  }
+}
+
+TEST(ShardConfig, AdaptivePlanFollowsRoutedLoadSkew) {
+  // plan_shards(routed) is documented as a pure function of load_words:
+  // S = min(smallest power of two >= ceil(max-load / mean-load), 256)
+  // over machines with nonzero load.  Recompute that independently here
+  // for a uniform and a star-skewed batch, and pin the planner log.
+  const VertexId n = 128;
+  const std::uint64_t machines = 8;
+  GraphSketchConfig cfg;
+  cfg.banks = 2;
+  cfg.seed = 91501;
+  cfg.shards = 0;
+  const EnvGuard guard("SMPC_SHARDS");
+  ASSERT_EQ(setenv("SMPC_SHARDS", "auto", 1), 0);
+  VertexSketches vs(n, cfg);
+  ASSERT_TRUE(vs.adaptive_shards());
+
+  const auto expected_shards = [](const mpc::RoutedBatch& r) {
+    std::uint64_t max_load = 0, total = 0, loaded = 0;
+    for (const std::uint64_t w : r.load_words) {
+      if (w == 0) continue;
+      ++loaded;
+      total += w;
+      max_load = std::max(max_load, w);
+    }
+    unsigned s = 1;
+    if (loaded > 0) {
+      const std::uint64_t skew = (max_load * loaded + total - 1) / total;
+      while (s < skew && s < VertexSketches::kShardCap) s *= 2;
+    }
+    return s;
+  };
+
+  mpc::Cluster cluster = test::make_cluster(n, machines);
+  mpc::RoutedBatch routed;
+
+  // Near-uniform batch: the plan must still match the formula (typically
+  // a small S) and land in the log.
+  const auto uniform = random_deltas(n, 256, 91502);
+  cluster.route_batch(std::span<const EdgeDelta>(uniform), n, routed);
+  const unsigned s_uniform = vs.plan_shards(routed);
+  EXPECT_EQ(s_uniform, expected_shards(routed));
+  EXPECT_EQ(vs.last_planned_shards(), s_uniform);
+
+  // Star batch: every edge touches hub 0, so the hub's machine holds an
+  // outsized share of the routed words and the plan stripes it.
+  std::vector<EdgeDelta> star;
+  for (VertexId v = 1; v < n; ++v)
+    star.push_back(EdgeDelta{make_edge(0, v), +1});
+  cluster.route_batch(std::span<const EdgeDelta>(star), n, routed);
+  const unsigned s_star = vs.plan_shards(routed);
+  EXPECT_EQ(s_star, expected_shards(routed));
+  EXPECT_GT(s_star, 1u);
+  EXPECT_EQ(vs.last_planned_shards(), s_star);
+  EXPECT_GE(vs.auto_sharded_batches(), 1u);
+
+  // Deterministic: replanning the same batch picks the same S.
+  EXPECT_EQ(vs.plan_shards(routed), s_star);
+
+  // Tiny batches keep the 2-D fast path regardless of skew.
+  const std::vector<EdgeDelta> tiny(star.begin(), star.begin() + 2);
+  cluster.route_batch(std::span<const EdgeDelta>(tiny), n, routed);
+  EXPECT_EQ(vs.plan_shards(routed), 1u);
+  EXPECT_EQ(vs.last_planned_shards(), 1u);
+}
+
+TEST(ShardConformance, AutoShardedIngestMatchesFixedBaseline) {
+  // The adaptive planner changes only intra-machine scheduling: routed
+  // ingest under SMPC_SHARDS=auto must stay byte-identical to the
+  // explicit shards=1 serial baseline, on a stream skewed enough that
+  // batches actually stripe (auto_sharded_batches() > 0).
+  const VertexId n = 96;
+  const std::uint64_t machines = 8;
+  GraphSketchConfig base;
+  base.banks = 3;
+  base.seed = 91601;
+  base.ingest_threads = 1;
+  base.shards = 1;
+
+  // Hub bursts interleaved with background churn.
+  std::vector<EdgeDelta> deltas;
+  for (VertexId v = 1; v < n; ++v)
+    deltas.push_back(EdgeDelta{make_edge(0, v), +1});
+  const auto noise = random_deltas(n, 200, 91603);
+  deltas.insert(deltas.end(), noise.begin(), noise.end());
+  for (VertexId v = 1; v < n; v += 2)
+    deltas.push_back(EdgeDelta{make_edge(0, v), -1});
+
+  const auto sets = probe_sets(n, 91604);
+  VertexSketches ref(n, base);
+  ref.update_edges(deltas);
+
+  const EnvGuard guard("SMPC_SHARDS");
+  ASSERT_EQ(setenv("SMPC_SHARDS", "auto", 1), 0);
+  for (const unsigned threads : {1u, 4u}) {
+    GraphSketchConfig cfg = base;
+    cfg.shards = 0;
+    cfg.ingest_threads = threads;
+    VertexSketches vs(n, cfg);
+    ASSERT_TRUE(vs.adaptive_shards());
+    mpc::Cluster cluster = test::make_cluster(n, machines);
+    mpc::RoutedBatch routed;
+    const std::span<const EdgeDelta> all(deltas);
+    constexpr std::size_t kChunk = 64;
+    for (std::size_t start = 0; start < all.size(); start += kChunk) {
+      const std::size_t len = std::min(kChunk, all.size() - start);
+      cluster.route_batch(all.subspan(start, len), n, routed);
+      vs.update_edges(routed);
+    }
+    expect_identical_samples(ref, vs, base.banks, sets);
+    EXPECT_EQ(ref.allocated_words(), vs.allocated_words())
+        << "threads=" << threads;
+    EXPECT_GT(vs.auto_sharded_batches(), 0u) << "threads=" << threads;
+  }
 }
 
 // ---------------- composition with the batch scheduler -----------------------

@@ -7,6 +7,8 @@
 //   * the closed-form depth_of matches the seed's linear scan.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstring>
 #include <optional>
 #include <vector>
 
@@ -18,6 +20,8 @@
 #include "graph/streams.h"
 #include "legacy_sketch_ref.h"
 #include "mpc/cluster.h"
+#include "sketch/arena.h"
+#include "sketch/coord.h"
 #include "sketch/graphsketch.h"
 #include "sketch/l0sampler.h"
 #include "test_support.h"
@@ -355,6 +359,119 @@ TEST(StreamingIngest, ApplyStreamMatchesSingleUpdates) {
     ASSERT_EQ(single.spanning_forest(), streamed.spanning_forest());
     for (VertexId v = 0; v < n; ++v)
       ASSERT_EQ(single.component_of(v), streamed.component_of(v));
+  }
+}
+
+// --- cell-layout (AoS record) suite ----------------------------------------
+// The arena packs each cell into one 32 B record (ISSUE 10); these tests pin
+// the layout properties the hot path and the transaction machinery rely on.
+
+TEST(CellLayout, RecordPackingMatchesCacheLineBudget) {
+  // One record = exactly half a cache line, aligned so it never straddles
+  // one.  The static_asserts in arena.h enforce this at compile time; the
+  // runtime checks here keep the contract visible in the test log and pin
+  // the field order the snapshot/rollback memcpy paths depend on.
+  EXPECT_EQ(sizeof(ArenaCell), 32u);
+  EXPECT_EQ(alignof(ArenaCell), 32u);
+  EXPECT_EQ(offsetof(ArenaCell, w), 0u);
+  EXPECT_EQ(offsetof(ArenaCell, s_lo), 8u);
+  EXPECT_EQ(offsetof(ArenaCell, s_hi), 16u);
+  EXPECT_EQ(offsetof(ArenaCell, fp), 24u);
+}
+
+TEST(CellLayout, SignedWideAccumulatorRoundTripsThroughHalves) {
+  // The s accumulator is a signed __int128 split into two uint64_t halves;
+  // deletion-heavy streams drive it negative, so two's-complement values
+  // must survive the split/recombine exactly — including borrows across
+  // the half boundary.
+  const __int128 one = 1;
+  const __int128 probes[] = {0,
+                             1,
+                             -1,
+                             (one << 64) - 1,
+                             -(one << 64),
+                             (one << 64),
+                             -((one << 100) + 12345),
+                             (one << 126),
+                             -(one << 126)};
+  for (const __int128 v : probes) {
+    ArenaCell cell;
+    cell.set_s(v);
+    EXPECT_EQ(cell.s(), v);
+    EXPECT_EQ(cell.s() < 0, v < 0);
+  }
+  ArenaCell cell;
+  const __int128 big = (one << 70) + 7;
+  cell.add_delta(+1, big, 0);
+  cell.add_delta(-2, -big - big - big, 0);  // crosses zero, borrows the half
+  EXPECT_EQ(cell.s(), -(big + big));
+  EXPECT_EQ(cell.w, -1);
+  cell.add_delta(+1, big + big, 0);
+  EXPECT_EQ(cell.s(), static_cast<__int128>(0));
+  EXPECT_EQ(cell.s_lo, 0u);
+  EXPECT_EQ(cell.s_hi, 0u);
+}
+
+TEST(CellLayout, RollbackRestoresRecordsByteExactly) {
+  // Arena-level transaction under the AoS layout: snapshot, mutate (both
+  // overwrites of snapshotted pages and first-touch allocations), roll
+  // back, and require every level's record span to be byte-identical to a
+  // twin arena that never saw the second batch.
+  const VertexId n = 64;
+  const EdgeCoordCodec codec(n);
+  SplitMix64 sm(77);
+  const L0Params params(codec.dimension(), L0Shape{2, 8}, sm.next());
+  BankArena arena(n, params);
+  BankArena twin(n, params);
+
+  Rng rng(78);
+  CoordPlan plan;
+  const auto ingest = [&](BankArena& a, Edge e, std::int64_t delta) {
+    const Coord c = codec.encode(e);
+    params.plan_coord(c, delta, plan);
+    a.apply(e.v, c, delta, plan, /*negated=*/false);
+    a.apply(e.u, c, -delta, plan, /*negated=*/true);
+  };
+  const auto random_edge = [&] {
+    const VertexId u = static_cast<VertexId>(rng.below(n));
+    VertexId v = static_cast<VertexId>(rng.below(n - 1));
+    if (v >= u) ++v;
+    return make_edge(u, v);
+  };
+
+  std::vector<Edge> first, second;
+  for (int i = 0; i < 40; ++i) first.push_back(random_edge());
+  for (int i = 0; i < 40; ++i) second.push_back(random_edge());
+  for (const Edge e : first) {
+    ingest(arena, e, +1);
+    ingest(twin, e, +1);
+  }
+
+  // Transaction contract (arena.h): snapshot every page the doomed batch
+  // will touch BEFORE mutating anything, then mutate, then roll back.
+  arena.snapshot_begin();
+  const auto snapshot_edge = [&](Edge e, std::int64_t delta) {
+    params.plan_coord(codec.encode(e), delta, plan);
+    arena.snapshot_pages(e.v, plan.depth);
+    arena.snapshot_pages(e.u, plan.depth);
+  };
+  for (const Edge e : second) snapshot_edge(e, +1);
+  for (const Edge e : first) snapshot_edge(e, -1);
+  for (const Edge e : second) ingest(arena, e, +1);
+  for (const Edge e : first) ingest(arena, e, -1);  // drives s negative
+  arena.rollback_pages();
+
+  EXPECT_EQ(arena.allocated_words(), twin.allocated_words());
+  for (unsigned level = 0; level < params.levels(); ++level) {
+    for (VertexId v = 0; v < n; ++v) {
+      const std::span<const ArenaCell> got = arena.level_records(level, v);
+      const std::span<const ArenaCell> want = twin.level_records(level, v);
+      ASSERT_EQ(got.size(), want.size()) << "level " << level << " v " << v;
+      if (want.empty()) continue;
+      ASSERT_EQ(0, std::memcmp(got.data(), want.data(),
+                               want.size() * sizeof(ArenaCell)))
+          << "level " << level << " v " << v;
+    }
   }
 }
 
